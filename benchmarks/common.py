@@ -1,0 +1,86 @@
+"""Shared infrastructure for the figure/table benchmarks.
+
+Every benchmark regenerates one table or figure of the paper at the
+``default_scale`` system (8 KiB L1s; footprints in L1-size units match
+Table 3, see DESIGN.md).  Each writes a text report to
+``benchmarks/out/`` and asserts the paper's qualitative shape.
+
+Set ``REPRO_BENCH_TXNS_PER_CORE`` to trade accuracy for runtime
+(default 10 transactions per core).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, List
+
+from repro.config import SystemConfig, default_scale
+from repro.sim.results import RunResult
+from repro.trace.trace import TransactionTrace
+from repro.workloads.mapreduce import MapReduceWorkload
+from repro.workloads.tpcc import TpccWorkload
+from repro.workloads.tpce import TpceWorkload
+
+OUT_DIR = Path(__file__).parent / "out"
+
+#: Core counts evaluated throughout the paper's Section 5.
+CORE_COUNTS = (2, 4, 8, 16)
+
+TXNS_PER_CORE = int(os.environ.get("REPRO_BENCH_TXNS_PER_CORE", "10"))
+
+#: Master seed for all benchmark workloads.
+SEED = 20130623  # ISCA'13
+
+
+def config_for(cores: int) -> SystemConfig:
+    """The benchmark system at a given core count."""
+    return default_scale(num_cores=cores)
+
+
+def txn_count(cores: int) -> int:
+    """Transactions per run: sized for the largest core count so the
+    *same* batch serves every core count (per-count resampling would
+    add workload noise to cross-core-count comparisons)."""
+    del cores
+    return max(40, TXNS_PER_CORE * max(CORE_COUNTS))
+
+
+def make_workloads(which: List[str] | None = None) -> Dict[str, object]:
+    """Build the paper's Table 1 workload suites."""
+    blocks = default_scale().l1i_blocks
+    suites = {}
+    wanted = which or ["TPC-C-1", "TPC-C-10", "TPC-E", "MapReduce"]
+    if "TPC-C-1" in wanted:
+        suites["TPC-C-1"] = TpccWorkload(blocks, warehouses=1, seed=SEED)
+    if "TPC-C-10" in wanted:
+        suites["TPC-C-10"] = TpccWorkload(blocks, warehouses=10,
+                                          seed=SEED)
+    if "TPC-E" in wanted:
+        suites["TPC-E"] = TpceWorkload(blocks, seed=SEED)
+    if "MapReduce" in wanted:
+        suites["MapReduce"] = MapReduceWorkload(blocks, seed=SEED)
+    return suites
+
+
+def traces_for(workload, cores: int = 16) -> List[TransactionTrace]:
+    """The benchmark batch (identical for every core count)."""
+    return workload.generate_mix(txn_count(cores), seed=SEED + 16)
+
+
+def write_report(name: str, text: str) -> Path:
+    """Persist a figure/table report under benchmarks/out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / name
+    path.write_text(text + "\n")
+    return path
+
+
+def reduction(base: RunResult, other: RunResult,
+              metric: str = "i_mpki") -> float:
+    """Percent reduction of a metric relative to a baseline run."""
+    before = getattr(base, metric)
+    after = getattr(other, metric)
+    if before == 0:
+        return 0.0
+    return 100.0 * (before - after) / before

@@ -1,0 +1,78 @@
+"""Ablations for STREX's design choices (beyond the paper's own
+experiments; DESIGN.md decision 6).
+
+Swept knobs, on TPC-C at 8 cores:
+- context-switch cost (the save/restore-to-L2 assumption);
+- the forward-progress floor (Section 4.4.2's implementation option);
+- phaseID tag width (the 8-bit PIDT entry of Table 4);
+- team-formation window (the 30-transaction pool of Section 4.3).
+
+Shape checks:
+- STREX keeps beating the baseline even with a 4x context-switch cost;
+- disabling the progress floor inflates context switches dramatically;
+- narrow phase tags (2-bit) still work (the counter wraps, old tags
+  alias rarely);
+- a window of 1 degenerates team formation to strays and erases most
+  of the benefit.
+"""
+
+from __future__ import annotations
+
+from common import config_for, make_workloads, traces_for, write_report
+from repro.analysis.report import format_table
+from repro.sim.api import simulate
+
+CORES = 8
+
+
+def run_ablation():
+    workload = make_workloads(["TPC-C-1"])["TPC-C-1"]
+    traces = traces_for(workload, CORES)
+    base_config = config_for(CORES)
+    base = simulate(base_config, traces, "base", "TPC-C-1")
+
+    variants = {
+        "default": {},
+        "ctx_cost=0": {"context_switch_cycles": 0},
+        "ctx_cost=480": {"context_switch_cycles": 480},
+        "no_progress_floor": {"min_progress_events": 0},
+        "phase_bits=2": {"phase_bits": 2},
+        "window=1": {"window": 1},
+        "window=100": {"window": 100},
+    }
+    results = {}
+    for label, overrides in variants.items():
+        config = base_config.with_strex(**overrides) if overrides \
+            else base_config
+        run = simulate(config, traces, "strex", "TPC-C-1")
+        results[label] = {
+            "i_mpki": run.i_mpki,
+            "rel_thr": run.relative_throughput(base),
+            "ctx": run.context_switches,
+        }
+    return results
+
+
+def test_ablation_strex(benchmark):
+    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    rows = [
+        [label, round(r["i_mpki"], 2), round(r["rel_thr"], 3), r["ctx"]]
+        for label, r in results.items()
+    ]
+    report = format_table(
+        ["variant", "I-MPKI", "rel. throughput", "ctx switches"], rows)
+    write_report("ablation_strex.txt", report)
+    print("\n" + report)
+
+    default = results["default"]
+    # Robust to expensive context switches.
+    assert results["ctx_cost=480"]["rel_thr"] > 1.0
+    assert results["ctx_cost=0"]["rel_thr"] >= default["rel_thr"]
+    # The progress floor is what keeps switch counts sane.
+    assert results["no_progress_floor"]["ctx"] > default["ctx"] * 2
+    # Narrow tags still synchronize phases.
+    assert results["phase_bits=2"]["i_mpki"] < default["i_mpki"] * 1.15
+    # No window -> no teams -> benefit largely gone.
+    assert results["window=1"]["i_mpki"] > default["i_mpki"] * 1.2
+    # A bigger window doesn't hurt.
+    assert results["window=100"]["rel_thr"] > default["rel_thr"] * 0.9

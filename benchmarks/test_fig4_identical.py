@@ -1,0 +1,52 @@
+"""Figure 4: I-MPKI with the optimal synchronization algorithm for
+identical transactions (CTX-Identical) versus the baseline.
+
+Ten randomly chosen instances per transaction type, each replicated ten
+times (a hypothetical 100-transaction workload), executed on one core.
+
+Shape check (Section 4.1.1): the synchronized execution reduces I-MPKI
+significantly for every TPC-C and TPC-E transaction type.
+"""
+
+from __future__ import annotations
+
+import os
+
+from common import config_for, make_workloads, write_report
+from repro.analysis.report import format_table
+from repro.core.identical import compare_identical
+
+INSTANCES = int(os.environ.get("REPRO_BENCH_FIG4_INSTANCES", "6"))
+REPLICAS = int(os.environ.get("REPRO_BENCH_FIG4_REPLICAS", "6"))
+
+
+def run_fig4():
+    config = config_for(1)
+    suites = make_workloads(["TPC-C-1", "TPC-E"])
+    results = {}
+    for label in ("TPC-C-1", "TPC-E"):
+        workload = suites[label]
+        for txn_type in workload.type_names():
+            base, sync = compare_identical(
+                workload, txn_type, config,
+                instances=INSTANCES, replicas=REPLICAS,
+            )
+            results[(label, txn_type)] = (base.i_mpki, sync.i_mpki)
+    return results
+
+
+def test_fig4_identical(benchmark):
+    results = benchmark.pedantic(run_fig4, rounds=1, iterations=1)
+    rows = [
+        [suite, txn_type, round(base, 2), round(sync, 2),
+         f"{100 * (1 - sync / base):.0f}%"]
+        for (suite, txn_type), (base, sync) in results.items()
+    ]
+    report = format_table(
+        ["suite", "type", "baseline I-MPKI", "CTX-identical I-MPKI",
+         "reduction"], rows)
+    write_report("fig4_identical.txt", report)
+    print("\n" + report)
+
+    for (suite, txn_type), (base, sync) in results.items():
+        assert sync < base * 0.6, (suite, txn_type, base, sync)

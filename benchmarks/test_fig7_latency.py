@@ -1,0 +1,60 @@
+"""Figure 7: TPC-C transaction latency distribution as a function of
+team size (STREX-2T..20T) and of core count (SLICC-2..16), plus the
+baseline.
+
+Shape checks (Section 5.4):
+- larger STREX teams shift the distribution toward longer latencies
+  (mean latency grows with team size beyond small teams);
+- SLICC latencies shrink as cores are added.
+"""
+
+from __future__ import annotations
+
+from common import config_for, make_workloads, traces_for, write_report
+from repro.analysis.latency import LatencyDistribution, compare_distributions
+from repro.sim.api import simulate
+
+TEAM_SIZES = (2, 4, 6, 8, 10, 12, 16, 20)
+SLICC_CORES = (2, 4, 8, 16)
+STREX_CORES = 16  # STREX latency is independent of the core count
+
+
+def run_fig7():
+    workload = make_workloads(["TPC-C-10"])["TPC-C-10"]
+    traces = traces_for(workload, STREX_CORES)
+    distributions = []
+
+    base = simulate(config_for(STREX_CORES), traces, "base", "TPC-C-10")
+    distributions.append(LatencyDistribution("Baseline", base.latencies))
+
+    for team_size in TEAM_SIZES:
+        run = simulate(config_for(STREX_CORES), traces, "strex",
+                       "TPC-C-10", team_size=team_size)
+        distributions.append(
+            LatencyDistribution(f"STREX-{team_size}T", run.latencies))
+
+    for cores in SLICC_CORES:
+        run = simulate(config_for(cores), traces, "slicc", "TPC-C-10")
+        distributions.append(
+            LatencyDistribution(f"SLICC-{cores}", run.latencies))
+    return distributions
+
+
+def test_fig7_latency(benchmark):
+    distributions = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+    report = compare_distributions(distributions)
+    write_report("fig7_latency.txt", report)
+    print("\n" + report)
+
+    by_label = {d.label: d for d in distributions}
+    # Larger teams -> longer mean latency (compare small vs large).
+    assert by_label["STREX-20T"].mean_mcycles > \
+        by_label["STREX-4T"].mean_mcycles
+    assert by_label["STREX-16T"].mean_mcycles > \
+        by_label["STREX-2T"].mean_mcycles
+    # The latency tail also stretches with team size.
+    assert by_label["STREX-20T"].p95_mcycles > \
+        by_label["STREX-4T"].p95_mcycles
+    # SLICC latencies shrink with more cores.
+    assert by_label["SLICC-16"].mean_mcycles < \
+        by_label["SLICC-2"].mean_mcycles

@@ -1,0 +1,56 @@
+"""Figure 8: overall throughput for a range of team-size values
+(TPC-C-10 and TPC-E), relative to the baseline.
+
+Shape checks (Section 5.4):
+- throughput increases with team size (the largest teams give the
+  biggest improvements over the baseline);
+- even small teams beat the baseline.
+"""
+
+from __future__ import annotations
+
+from common import config_for, make_workloads, traces_for, write_report
+from repro.analysis.report import format_table
+from repro.sim.api import simulate
+
+TEAM_SIZES = (2, 4, 6, 8, 10, 12, 16, 20)
+CORES = 16
+
+
+def run_fig8():
+    suites = make_workloads(["TPC-C-10", "TPC-E"])
+    results = {}
+    for name, workload in suites.items():
+        traces = traces_for(workload, CORES)
+        config = config_for(CORES)
+        base = simulate(config, traces, "base", name)
+        results[(name, "base")] = 1.0
+        for team_size in TEAM_SIZES:
+            run = simulate(config, traces, "strex", name,
+                           team_size=team_size)
+            results[(name, team_size)] = run.relative_throughput(base)
+    return results
+
+
+def test_fig8_teamsize(benchmark):
+    results = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+    rows = []
+    for name in ("TPC-C-10", "TPC-E"):
+        row = [name, results[(name, "base")]]
+        for team_size in TEAM_SIZES:
+            row.append(round(results[(name, team_size)], 3))
+        rows.append(row)
+    headers = ["workload", "base"] + [f"{t}T" for t in TEAM_SIZES]
+    report = format_table(headers, rows)
+    write_report("fig8_teamsize.txt", report)
+    print("\n" + report)
+
+    for name in ("TPC-C-10", "TPC-E"):
+        series = [results[(name, t)] for t in TEAM_SIZES]
+        # All team sizes beat the baseline.
+        assert min(series) > 1.0, (name, series)
+        # The largest teams give the biggest improvement.
+        assert results[(name, 20)] == max(series) or \
+            results[(name, 16)] == max(series), (name, series)
+        # Broad upward trend: 20T clearly above 2T.
+        assert results[(name, 20)] > results[(name, 2)] * 1.05

@@ -1,0 +1,61 @@
+"""Figure 9: state-of-the-art replacement policies versus STREX, on
+eight cores (TPC-C and TPC-E).
+
+Policies: LRU, LIP, BIP, SRRIP, BRRIP standalone, and STREX combined
+with LRU, BIP, and BRRIP.
+
+Shape checks (Section 5.7):
+- STREX+LRU reduces I-MPKI well below the best standalone policy;
+- combining STREX with the anti-thrash policies (BIP/BRRIP) does not
+  improve on STREX+LRU (they fight STREX's phase structure).
+"""
+
+from __future__ import annotations
+
+from common import config_for, make_workloads, traces_for, write_report
+from repro.analysis.report import format_table
+from repro.sim.api import simulate
+
+STANDALONE = ("lru", "lip", "bip", "srrip", "brrip")
+WITH_STREX = ("lru", "bip", "brrip")
+CORES = 8
+
+
+def run_fig9():
+    suites = make_workloads(["TPC-C-10", "TPC-E"])
+    results = {}
+    for name, workload in suites.items():
+        traces = traces_for(workload, CORES)
+        for policy in STANDALONE:
+            config = config_for(CORES).with_l1_replacement(policy)
+            run = simulate(config, traces, "base", name)
+            results[(name, "base", policy)] = run.i_mpki
+        for policy in WITH_STREX:
+            config = config_for(CORES).with_l1_replacement(policy)
+            run = simulate(config, traces, "strex", name)
+            results[(name, "strex", policy)] = run.i_mpki
+    return results
+
+
+def test_fig9_replacement(benchmark):
+    results = benchmark.pedantic(run_fig9, rounds=1, iterations=1)
+    rows = []
+    for (name, scheduler, policy), i_mpki in sorted(results.items()):
+        rows.append([name, scheduler, policy.upper(), round(i_mpki, 2)])
+    report = format_table(["workload", "scheduler", "policy", "I-MPKI"],
+                          rows)
+    write_report("fig9_replacement.txt", report)
+    print("\n" + report)
+
+    for name in ("TPC-C-10", "TPC-E"):
+        best_standalone = min(results[(name, "base", p)]
+                              for p in STANDALONE)
+        strex_lru = results[(name, "strex", "lru")]
+        # STREX+LRU beats every standalone replacement policy by a wide
+        # margin (paper: >35% for TPC-C, >45% for TPC-E).
+        assert strex_lru < best_standalone * 0.80, (
+            name, strex_lru, best_standalone)
+        # Anti-thrash insertion policies do not help STREX.
+        for policy in ("bip", "brrip"):
+            assert results[(name, "strex", policy)] > strex_lru * 0.95, (
+                name, policy)

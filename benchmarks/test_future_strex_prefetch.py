@@ -1,0 +1,66 @@
+"""Future-work extension (Section 4.4.3): combining STREX with an
+instruction prefetcher.
+
+The paper conjectures: "STREX can avoid many of the misses that PIF has
+to incur... PIF could reduce execution time for the lead transaction,
+thus improving performance when used in conjunction with STREX.  An
+investigation of a possible combination of the two techniques is left
+for future work."  This bench runs that investigation in our framework.
+
+Shape checks:
+- STREX+PIF outperforms STREX alone (the lead's misses are covered);
+- STREX+PIF cuts L2 demand traffic well below PIF alone (STREX removes
+  the misses PIF would have had to prefetch, shrinking PIF's bandwidth
+  bill -- the paper's stated synergy);
+- STREX+next-line also improves on STREX alone.
+"""
+
+from __future__ import annotations
+
+from common import config_for, make_workloads, traces_for, write_report
+from repro.analysis.report import format_table
+from repro.sim.api import simulate
+
+CORES = 8
+
+COMBOS = (
+    ("base", "base", "none"),
+    ("pif", "base", "pif"),
+    ("strex", "strex", "none"),
+    ("strex+nextline", "strex", "nextline"),
+    ("strex+pif", "strex", "pif"),
+)
+
+
+def run_future():
+    workload = make_workloads(["TPC-C-1"])["TPC-C-1"]
+    traces = traces_for(workload, CORES)
+    config = config_for(CORES)
+    results = {}
+    for label, scheduler, prefetcher in COMBOS:
+        results[label] = simulate(config, traces, scheduler, "TPC-C-1",
+                                  prefetcher=prefetcher)
+    return results
+
+
+def test_future_strex_prefetch(benchmark):
+    results = benchmark.pedantic(run_future, rounds=1, iterations=1)
+    base = results["base"]
+    rows = [
+        [label, round(run.i_mpki, 2),
+         round(run.relative_throughput(base), 3), run.l2_traffic]
+        for label, run in results.items()
+    ]
+    report = format_table(
+        ["scheme", "I-MPKI", "rel. throughput", "L2 demand traffic"],
+        rows)
+    write_report("future_strex_prefetch.txt", report)
+    print("\n" + report)
+
+    assert results["strex+pif"].relative_throughput(base) > \
+        results["strex"].relative_throughput(base)
+    assert results["strex+nextline"].relative_throughput(base) > \
+        results["strex"].relative_throughput(base)
+    # The synergy: STREX removes most of the traffic PIF would prefetch.
+    assert results["strex+pif"].l2_traffic < \
+        results["pif"].l2_traffic * 0.85

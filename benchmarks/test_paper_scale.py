@@ -1,0 +1,53 @@
+"""Scale-invariance check: the headline STREX result at the paper's
+full Table 2 system (32 KiB L1s, 1 MiB/core L2).
+
+All other benches run the proportionally scaled 8 KiB-L1 preset for
+speed; this one verifies that the scaling substitution is sound by
+reproducing the base-vs-STREX comparison at the paper's actual cache
+sizes (footprints are defined in L1-size units, so Table 3 holds at
+either scale).
+"""
+
+from __future__ import annotations
+
+from common import SEED, write_report
+from repro.analysis.report import format_table
+from repro.config import paper_scale
+from repro.core.fptable import profile_fptable
+from repro.sim.api import simulate
+from repro.workloads.tpcc import TpccWorkload
+
+CORES = 4
+TRANSACTIONS = 40
+
+
+def run_paper_scale():
+    config = paper_scale(num_cores=CORES)
+    workload = TpccWorkload(config.l1i_blocks, warehouses=1, seed=SEED)
+    traces = workload.generate_mix(TRANSACTIONS, seed=SEED)
+    base = simulate(config, traces, "base", workload.name)
+    strex = simulate(config, traces, "strex", workload.name)
+    table = profile_fptable(traces, config)
+    return base, strex, table
+
+
+def test_paper_scale(benchmark):
+    base, strex, table = benchmark.pedantic(run_paper_scale, rounds=1,
+                                            iterations=1)
+    rows = [
+        ["I-MPKI", round(base.i_mpki, 2), round(strex.i_mpki, 2)],
+        ["D-MPKI", round(base.d_mpki, 2), round(strex.d_mpki, 2)],
+        ["rel. throughput", 1.0,
+         round(strex.relative_throughput(base), 3)],
+    ]
+    report = format_table(["metric", "base (32 KiB L1)", "STREX"], rows)
+    report += "\nfootprints: " + str(table.as_dict())
+    write_report("paper_scale.txt", report)
+    print("\n" + report)
+
+    # The same shapes as at the scaled preset.
+    assert strex.i_mpki < base.i_mpki * 0.75
+    assert strex.relative_throughput(base) > 1.1
+    # Footprints in L1 units are scale-invariant (Table 3 values).
+    assert table.units("NewOrder") == 14
+    assert table.units("Payment") == 14

@@ -1,0 +1,50 @@
+"""Table 3: FPTable -- instruction footprint per transaction type, in
+L1-I size units.
+
+The footprints are profiled with the phaseID-table mechanism of Section
+5.5 and must match the paper's values exactly (the workloads are
+calibrated to them):
+
+    TPC-C: Delivery 12, New Order 14, Order 11, Payment 14, Stock 11
+    TPC-E: Broker 7, Customer 9, Market 9, Security 5,
+           Tr_Stat 9, Tr_Upd 8, Tr_Look 8
+"""
+
+from __future__ import annotations
+
+from common import SEED, config_for, make_workloads, write_report
+from repro.analysis.report import format_table
+from repro.core.fptable import PAPER_FPTABLE, profile_fptable
+
+
+def run_table3():
+    config = config_for(4)
+    suites = make_workloads(["TPC-C-1", "TPC-E"])
+    tables = {}
+    for label, paper_key in (("TPC-C-1", "TPC-C"), ("TPC-E", "TPC-E")):
+        workload = suites[label]
+        traces = []
+        for name in workload.type_names():
+            traces += workload.generate_uniform(name, 5, seed=SEED)
+        tables[paper_key] = profile_fptable(traces, config,
+                                            samples_per_type=5)
+    return tables
+
+
+def test_table3_fptable(benchmark):
+    tables = benchmark.pedantic(run_table3, rounds=1, iterations=1)
+    rows = []
+    for suite, table in tables.items():
+        for name in table.known_types():
+            rows.append([suite, name, table.units(name),
+                         PAPER_FPTABLE[suite][name]])
+    report = format_table(
+        ["suite", "transaction", "measured units", "paper units"], rows)
+    write_report("table3_fptable.txt", report)
+    print("\n" + report)
+
+    for suite, table in tables.items():
+        assert table.as_dict() == PAPER_FPTABLE[suite]
+    # The hybrid switch points implied by Table 3 (Section 5.5.1).
+    assert tables["TPC-C"].median_units() == 12
+    assert tables["TPC-E"].median_units() == 8

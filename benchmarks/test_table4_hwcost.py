@@ -1,0 +1,36 @@
+"""Table 4: hardware component storage costs.
+
+Computed from the field widths of the paper's Table 4 at the paper-scale
+system (32 KiB L1-I, 20-entry thread queue, 30-entry team table); the
+totals must reproduce the paper's bit counts, and STREX's storage must
+be under 2% of PIF's ~40 KiB/core (Section 5.6).
+"""
+
+from __future__ import annotations
+
+from common import write_report
+from repro.analysis.report import format_table
+from repro.config import paper_scale
+from repro.core.hwcost import HardwareCostModel
+
+
+def run_table4():
+    model = HardwareCostModel(paper_scale(), max_team_size=20,
+                              formation_window=30)
+    return model.breakdown()
+
+
+def test_table4_hwcost(benchmark):
+    breakdown = benchmark.pedantic(run_table4, rounds=1, iterations=1)
+    rows = [[key, value] for key, value in breakdown.items()]
+    report = format_table(["component", "value"], rows)
+    write_report("table4_hwcost.txt", report)
+    print("\n" + report)
+
+    # Paper Table 4 totals.
+    assert breakdown["thread_scheduler_total_bits"] == 5324  # 665.5 B
+    assert breakdown["team_table_bits"] == 1800              # 225 B
+    assert breakdown["slicc_monitor_bits"] == 2208           # 276 B
+    assert breakdown["hybrid_total_bytes"] == 1166.5
+    # Abstract: <2% of PIF's storage.
+    assert breakdown["fraction_of_pif"] < 0.025

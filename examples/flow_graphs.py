@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Fig. 1 companion: transaction flow graphs with instruction footprints.
+
+Prints, for TPC-C's New Order and Payment, the sequence of actions
+(R = index lookup, U = update, I = insert, IT = index scan), each
+action's code-region size, the shared basic-function footprint, and the
+measured per-type footprint in L1-I units (Table 3).
+
+Run:  python examples/flow_graphs.py
+"""
+
+from repro import TpccWorkload, default_scale
+from repro.analysis.report import format_table
+from repro.core.fptable import profile_fptable
+from repro.db.engine import BASIC_FUNCTION_UNITS
+
+FLOWS = {
+    "NewOrder": [
+        ("R(WAREHOUSE)", "R_WAREHOUSE"),
+        ("R(DISTRICT)", "R_DISTRICT"),
+        ("R(CUSTOMER)", "R_CUSTOMER"),
+        ("U(DISTRICT)", "U_DISTRICT"),
+        ("I(ORDER)", "I_ORDER"),
+        ("I(NEW_ORDER)", "I_NEWORDER"),
+        ("loop x OL_CNT:", None),
+        ("  R(ITEM)", "R_ITEM"),
+        ("  R(STOCK)", "R_STOCK"),
+        ("  U(STOCK)", "U_STOCK"),
+        ("  I(ORDER_LINE)", "I_ORDERLINE"),
+    ],
+    "Payment": [
+        ("R(WAREHOUSE)", "R_WAREHOUSE"),
+        ("U(WAREHOUSE)", "U_WAREHOUSE"),
+        ("R(DISTRICT)", "R_DISTRICT"),
+        ("U(DISTRICT)", "U_DISTRICT"),
+        ("if by-name (60%):", None),
+        ("  IT(CUSTOMER)", "IT_CUSTOMER"),
+        ("R(CUSTOMER)", "R_CUSTOMER"),
+        ("U(CUSTOMER)", "U_CUSTOMER"),
+        ("I(HISTORY)", "I_HISTORY"),
+    ],
+}
+
+
+def main() -> None:
+    config = default_scale()
+    workload = TpccWorkload(config.l1i_blocks, warehouses=1)
+    unit = config.l1i_blocks
+
+    print("Shared basic functions (every transaction type):")
+    rows = [[name, units] for name, units in
+            sorted(BASIC_FUNCTION_UNITS.items())]
+    print(format_table(["function", "L1-I units"], rows))
+
+    for txn_type, actions in FLOWS.items():
+        print(f"\n{txn_type} action flow "
+              f"(wrapper regions in L1-I units):")
+        for label, wrapper in actions:
+            if wrapper is None:
+                print(f"    {label}")
+                continue
+            region = workload.layout.region(f"{workload.name}.{wrapper}")
+            print(f"    {label:18s} -> {region.num_blocks / unit:.2f} u "
+                  f"@ block {region.start_block}")
+
+    print("\nMeasured footprints (Table 3, via FPTable profiling):")
+    traces = []
+    for name in workload.type_names():
+        traces += workload.generate_uniform(name, 3, seed=11)
+    table = profile_fptable(traces, config, samples_per_type=3)
+    rows = [[name, table.units(name)] for name in table.known_types()]
+    print(format_table(["type", "footprint (L1-I units)"], rows))
+
+    shared = workload.types["NewOrder"].spec.wrappers.keys() \
+        & workload.types["Payment"].spec.wrappers.keys()
+    print(f"\nActions shared by New Order and Payment: "
+          f"{sorted(shared)}")
+    print("This shared prefix is why their code paths overlap before "
+          "diverging (Section 2.1).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Latency/throughput tuning via the STREX team-size knob.
+
+Section 5.4: like software transaction-batching schemes (VoltDB's
+request batch size), STREX trades per-transaction latency for overall
+throughput through the maximum team size.  This example sweeps the team
+size on TPC-C and picks the largest team that still meets a p95 latency
+SLO, mirroring how an operator would configure the system.
+
+Run:  python examples/latency_tuning.py
+"""
+
+from repro import TpccWorkload, default_scale, simulate
+from repro.analysis.latency import LatencyDistribution
+from repro.analysis.report import format_table
+
+CORES = 8
+TRANSACTIONS = 80
+TEAM_SIZES = (2, 4, 6, 8, 10, 12, 16, 20)
+#: p95 latency budget, as a multiple of the baseline's p95.
+SLO_FACTOR = 3.0
+
+
+def main() -> None:
+    config = default_scale(num_cores=CORES)
+    workload = TpccWorkload(config.l1i_blocks, warehouses=1)
+    traces = workload.generate_mix(TRANSACTIONS, seed=3)
+
+    base = simulate(config, traces, "base", workload.name)
+    base_dist = LatencyDistribution("base", base.latencies)
+    slo = base_dist.p95_mcycles * SLO_FACTOR
+    print(f"Baseline p95 latency: {base_dist.p95_mcycles:.2f} M-cycles; "
+          f"SLO: {slo:.2f} M-cycles (x{SLO_FACTOR:.0f})\n")
+
+    rows = []
+    best = None
+    for team_size in TEAM_SIZES:
+        run = simulate(config, traces, "strex", workload.name,
+                       team_size=team_size)
+        dist = LatencyDistribution(f"STREX-{team_size}T", run.latencies)
+        throughput = run.relative_throughput(base)
+        meets = dist.p95_mcycles <= slo
+        rows.append([
+            f"{team_size}T",
+            round(throughput, 3),
+            round(dist.mean_mcycles, 2),
+            round(dist.p95_mcycles, 2),
+            "yes" if meets else "NO",
+        ])
+        if meets and (best is None or throughput > best[1]):
+            best = (team_size, throughput)
+    print(format_table(
+        ["team size", "rel. throughput", "mean lat (Mcyc)",
+         "p95 lat (Mcyc)", "meets SLO"], rows))
+
+    if best:
+        print(f"\nRecommended team size: {best[0]} "
+              f"(+{100 * (best[1] - 1):.0f}% throughput over the "
+              f"baseline within the latency SLO).")
+    else:
+        print("\nNo team size meets the SLO; run unbatched.")
+
+
+if __name__ == "__main__":
+    main()

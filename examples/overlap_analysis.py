@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's motivating observation (Fig. 2): same-type
+OLTP transactions overlap heavily in the instruction blocks they touch.
+
+Sixteen Payment transactions run concurrently, one per core; every 100
+instructions the blocks each core touched are checked against the other
+fifteen L1-I caches and bucketed by overlap degree.
+
+Run:  python examples/overlap_analysis.py
+"""
+
+from repro import TpccWorkload, default_scale
+from repro.analysis.overlap import BANDS, OverlapAnalysis, summarize
+
+TXN_TYPE = "Payment"
+CORES = 16
+
+
+def main() -> None:
+    config = default_scale(num_cores=CORES)
+    workload = TpccWorkload(config.l1i_blocks, warehouses=1)
+    traces = workload.generate_uniform(TXN_TYPE, CORES, seed=5)
+
+    analysis = OverlapAnalysis(config, interval_instructions=100)
+    intervals = analysis.run(traces)
+    summary = summarize(intervals)
+
+    print(f"{CORES} concurrent {TXN_TYPE} transactions, one per core.\n")
+    print("Time-averaged overlap bands (fraction of touched blocks "
+          "resident in N caches):")
+    for band in BANDS:
+        bar = "#" * round(40 * summary[band])
+        print(f"  {band:>5}: {bar} {summary[band]:.1%}")
+    print(f"\nBlocks in >=5 caches: {summary['five_or_more']:.1%} "
+          "(the paper reports >70%)")
+
+    print("\nOverlap over time (sampled):")
+    step = max(1, len(intervals) // 12)
+    for interval in intervals[::step]:
+        ge10 = interval.fraction(">=10")
+        lone = interval.fraction("1")
+        print(f"  {interval.kilo_instructions:7.1f} K-instr:  "
+              f">=10 caches {ge10:5.1%}   private {lone:5.1%}")
+    print("\nThis temporal locality is what STREX converts into L1-I "
+          "reuse by stratifying\nexecution into cache-sized phases "
+          "(Section 3).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""repro: a reproduction of STREX (Atta et al., ISCA 2013).
+
+STREX boosts instruction-cache reuse in OLTP workloads by grouping
+similar transactions into teams and time-multiplexing their execution on
+a single core in L1-I-sized phases.  This package provides:
+
+* a trace-driven CMP timing simulator (caches, NUCA L2, coherence, NoC,
+  DRAM) -- :mod:`repro.sim`, :mod:`repro.cache`, :mod:`repro.noc`,
+  :mod:`repro.mem`;
+* a mini OLTP storage manager that generates instruction/data traces for
+  TPC-C, TPC-E and a MapReduce control workload -- :mod:`repro.db`,
+  :mod:`repro.workloads`;
+* the STREX, SLICC, and hybrid schedulers plus baselines and prefetchers
+  -- :mod:`repro.sched`, :mod:`repro.core`, :mod:`repro.prefetch`;
+* analysis utilities regenerating every table and figure of the paper --
+  :mod:`repro.analysis` and the ``benchmarks/`` harness.
+
+Quickstart::
+
+    from repro import default_scale, TpccWorkload, simulate
+
+    config = default_scale(num_cores=4)
+    workload = TpccWorkload(config.l1i_blocks, warehouses=1)
+    traces = workload.generate_mix(30)
+    base = simulate(config, traces, "base", workload.name)
+    strex = simulate(config, traces, "strex", workload.name)
+    print(base.i_mpki, strex.i_mpki)
+"""
+
+from repro.config import (
+    CacheConfig,
+    SystemConfig,
+    default_scale,
+    paper_scale,
+    tiny_scale,
+)
+from repro.sim.api import SCHEDULERS, simulate
+from repro.sim.results import RunResult
+from repro.workloads.mapreduce import MapReduceWorkload
+from repro.workloads.tpcc import TpccWorkload
+from repro.workloads.tpce import TpceWorkload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheConfig",
+    "SystemConfig",
+    "default_scale",
+    "paper_scale",
+    "tiny_scale",
+    "simulate",
+    "SCHEDULERS",
+    "RunResult",
+    "TpccWorkload",
+    "TpceWorkload",
+    "MapReduceWorkload",
+    "__version__",
+]

@@ -1,0 +1,119 @@
+"""Command-line interface: ``python -m repro``.
+
+Runs one simulation (or a core sweep) of a chosen workload under a
+chosen scheduler and prints the paper's metrics.
+
+Examples::
+
+    python -m repro --workload tpcc --scheduler strex --cores 4
+    python -m repro --workload tpce --sweep --transactions 80
+    python -m repro --workload tpcc --scheduler base --prefetcher pif
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List
+
+from repro.analysis.report import format_table
+from repro.config import default_scale, paper_scale
+from repro.sim.api import PREFETCHERS, SCHEDULERS, simulate
+from repro.workloads.mapreduce import MapReduceWorkload
+from repro.workloads.tpcc import TpccWorkload
+from repro.workloads.tpce import TpceWorkload
+
+WORKLOADS = {
+    "tpcc": lambda blocks, seed: TpccWorkload(blocks, warehouses=1,
+                                              seed=seed),
+    "tpcc10": lambda blocks, seed: TpccWorkload(blocks, warehouses=10,
+                                                seed=seed),
+    "tpce": lambda blocks, seed: TpceWorkload(blocks, seed=seed),
+    "mapreduce": lambda blocks, seed: MapReduceWorkload(blocks,
+                                                        seed=seed),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="STREX (ISCA 2013) reproduction: simulate OLTP "
+                    "workloads under conventional, STREX, SLICC, or "
+                    "hybrid scheduling.",
+    )
+    parser.add_argument("--workload", choices=sorted(WORKLOADS),
+                        default="tpcc")
+    parser.add_argument("--scheduler", choices=sorted(SCHEDULERS),
+                        default="strex")
+    parser.add_argument("--prefetcher", choices=sorted(PREFETCHERS),
+                        default="none")
+    parser.add_argument("--cores", type=int, default=4)
+    parser.add_argument("--transactions", type=int, default=60)
+    parser.add_argument("--team-size", type=int, default=None,
+                        help="STREX team size override")
+    parser.add_argument("--seed", type=int, default=1013)
+    parser.add_argument("--paper-scale", action="store_true",
+                        help="use the full Table 2 system "
+                             "(32 KiB L1s) instead of the scaled one")
+    parser.add_argument("--sweep", action="store_true",
+                        help="sweep 2/4/8/16 cores over all schedulers")
+    return parser
+
+
+def _config(args, cores: int):
+    factory = paper_scale if args.paper_scale else default_scale
+    return factory(num_cores=cores)
+
+
+def run_single(args) -> str:
+    """One run; returns the printed report."""
+    config = _config(args, args.cores)
+    workload = WORKLOADS[args.workload](config.l1i_blocks, args.seed)
+    traces = workload.generate_mix(args.transactions, seed=args.seed)
+    base = simulate(config, traces, "base", workload.name)
+    run = simulate(config, traces, args.scheduler, workload.name,
+                   prefetcher=args.prefetcher,
+                   team_size=args.team_size) \
+        if (args.scheduler, args.prefetcher) != ("base", "none") else base
+    rows = [
+        ["workload", workload.name],
+        ["scheduler", run.scheduler],
+        ["cores", args.cores],
+        ["transactions", run.transactions],
+        ["instructions", run.instructions],
+        ["I-MPKI", round(run.i_mpki, 2)],
+        ["D-MPKI", round(run.d_mpki, 2)],
+        ["throughput (txn/Mcyc)", round(run.throughput, 2)],
+        ["vs baseline", f"x{run.relative_throughput(base):.3f}"],
+    ]
+    return format_table(["metric", "value"], rows)
+
+
+def run_sweep(args) -> str:
+    """Core sweep over all schedulers; returns the printed table."""
+    rows: List[List[object]] = []
+    for cores in (2, 4, 8, 16):
+        config = _config(args, cores)
+        workload = WORKLOADS[args.workload](config.l1i_blocks, args.seed)
+        traces = workload.generate_mix(args.transactions,
+                                       seed=args.seed)
+        base = simulate(config, traces, "base", workload.name)
+        row: List[object] = [cores, round(base.i_mpki, 2)]
+        for scheduler in ("strex", "slicc", "hybrid"):
+            run = simulate(config, traces, scheduler, workload.name)
+            row.append(round(run.relative_throughput(base), 3))
+        rows.append(row)
+    return format_table(
+        ["cores", "base I-MPKI", "strex", "slicc", "hybrid"], rows)
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    report = run_sweep(args) if args.sweep else run_single(args)
+    print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

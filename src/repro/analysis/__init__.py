@@ -1,0 +1,18 @@
+"""Analysis utilities: temporal overlap (Fig. 2), latency
+distributions (Fig. 7), and text report rendering."""
+
+from repro.analysis.latency import LatencyDistribution, compare_distributions
+from repro.analysis.overlap import BANDS, OverlapAnalysis, OverlapInterval, summarize
+from repro.analysis.report import bar_chart, format_table, grouped_bar_chart
+
+__all__ = [
+    "LatencyDistribution",
+    "compare_distributions",
+    "BANDS",
+    "OverlapAnalysis",
+    "OverlapInterval",
+    "summarize",
+    "bar_chart",
+    "format_table",
+    "grouped_bar_chart",
+]

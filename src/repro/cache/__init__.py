@@ -1,0 +1,8 @@
+"""Cache models: set-associative caches, replacement policies, and
+the full CMP memory hierarchy with MESI-lite coherence."""
+
+from repro.cache.cache import Cache, CacheStats
+from repro.cache.hierarchy import MemoryHierarchy
+from repro.cache.replacement import make_policy, policy_names
+
+__all__ = ["Cache", "CacheStats", "MemoryHierarchy", "make_policy", "policy_names"]

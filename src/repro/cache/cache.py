@@ -1,0 +1,253 @@
+"""Set-associative cache model.
+
+The cache works at block granularity: callers pass *block numbers*
+(``address >> BLOCK_SHIFT``).  It supports:
+
+* pluggable replacement policies (see :mod:`repro.cache.replacement`);
+* a *victim callback* fired before any eviction -- this is the observation
+  point STREX uses to detect end-of-phase (Section 4.2, step 3);
+* per-block metadata tags, used as the auxiliary phaseID table (PIDT,
+  Section 4.3) and by the FPTable profiler (Section 5.5);
+* hit/miss/eviction statistics and MPKI accounting.
+
+The model is a pure presence/replacement simulator: latency is charged by
+the owning hierarchy/core model, not here.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.config import CacheConfig
+from repro.cache.replacement import ReplacementPolicy, make_policy
+
+VictimCallback = Callable[[int, int], None]
+"""Called as ``callback(block, tag_value)`` just before ``block`` is
+evicted; ``tag_value`` is the block's metadata tag (phaseID)."""
+
+
+class CacheStats:
+    """Hit/miss/eviction counters for one cache."""
+
+    __slots__ = ("hits", "misses", "evictions", "invalidations")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total demand accesses."""
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses / accesses, or 0.0 if the cache was never accessed."""
+        if not self.accesses:
+            return 0.0
+        return self.misses / self.accesses
+
+    def mpki(self, instructions: int) -> float:
+        """Misses per kilo-instruction relative to ``instructions``."""
+        if instructions <= 0:
+            return 0.0
+        return 1000.0 * self.misses / instructions
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """Counters as a plain dict (for reports)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }
+
+
+class Cache:
+    """A set-associative, block-granularity cache.
+
+    Args:
+        config: geometry and replacement policy.
+        rng: RNG used by stochastic replacement policies.
+        victim_callback: invoked before each eviction with
+            ``(block, tag)``; may be replaced at runtime via
+            :attr:`victim_callback`.
+        name: label used in reports.
+    """
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        rng: Optional[random.Random] = None,
+        victim_callback: Optional[VictimCallback] = None,
+        name: str = "cache",
+    ):
+        self.config = config
+        self.name = name
+        self.num_sets = config.num_sets
+        self.assoc = config.assoc
+        self._set_mask = self.num_sets - 1
+        self._power_of_two = self.num_sets & (self.num_sets - 1) == 0
+        rng = rng if rng is not None else random.Random(0)
+        self.policy: ReplacementPolicy = make_policy(
+            config.replacement, self.num_sets, self.assoc, rng
+        )
+        self.victim_callback = victim_callback
+        self.stats = CacheStats()
+        # Per-set mapping of resident block -> way, plus per-way arrays of
+        # the resident block (or None) and its metadata tag.
+        self._lookup: List[Dict[int, int]] = [
+            {} for _ in range(self.num_sets)
+        ]
+        self._blocks: List[List[Optional[int]]] = [
+            [None] * self.assoc for _ in range(self.num_sets)
+        ]
+        self._tags: List[List[int]] = [
+            [0] * self.assoc for _ in range(self.num_sets)
+        ]
+
+    # ------------------------------------------------------------------
+    # Geometry helpers
+    # ------------------------------------------------------------------
+    def set_index(self, block: int) -> int:
+        """Map a block number to its set."""
+        if self._power_of_two:
+            return block & self._set_mask
+        return block % self.num_sets
+
+    # ------------------------------------------------------------------
+    # Presence queries (no statistics side effects)
+    # ------------------------------------------------------------------
+    def contains(self, block: int) -> bool:
+        """True if ``block`` is resident.  Does not touch stats or LRU."""
+        return block in self._lookup[self.set_index(block)]
+
+    def tag_of(self, block: int) -> Optional[int]:
+        """Metadata tag of a resident block, or None if absent."""
+        set_index = self.set_index(block)
+        way = self._lookup[set_index].get(block)
+        if way is None:
+            return None
+        return self._tags[set_index][way]
+
+    def resident_blocks(self) -> Iterator[int]:
+        """Iterate over all resident block numbers."""
+        for mapping in self._lookup:
+            yield from mapping
+
+    @property
+    def occupancy(self) -> int:
+        """Number of resident blocks."""
+        return sum(len(mapping) for mapping in self._lookup)
+
+    # ------------------------------------------------------------------
+    # Access path
+    # ------------------------------------------------------------------
+    def access(self, block: int, tag: int = 0) -> bool:
+        """Demand access to ``block``; fills on miss.
+
+        The block's metadata tag is set to ``tag`` whether the access hit
+        or missed (STREX tags blocks with the current phaseID on every
+        touch -- Section 4.2, step 2).
+
+        Returns:
+            True on hit, False on miss.
+        """
+        set_index = self.set_index(block)
+        way = self._lookup[set_index].get(block)
+        if way is not None:
+            self.stats.hits += 1
+            self.policy.on_hit(set_index, way)
+            self._tags[set_index][way] = tag
+            return True
+        self.stats.misses += 1
+        self.policy.on_miss(set_index)
+        self._fill(set_index, block, tag)
+        return False
+
+    def probe(self, block: int) -> bool:
+        """Like :meth:`access` but never fills; still counts stats and
+        updates recency on hit.  Used by the idealized PIF model, where
+        the L1-I never stalls but would-miss traffic is tracked."""
+        set_index = self.set_index(block)
+        way = self._lookup[set_index].get(block)
+        if way is not None:
+            self.stats.hits += 1
+            self.policy.on_hit(set_index, way)
+            return True
+        self.stats.misses += 1
+        self.policy.on_miss(set_index)
+        return False
+
+    def fill(self, block: int, tag: int = 0) -> None:
+        """Install ``block`` without a demand access (prefetch fill)."""
+        set_index = self.set_index(block)
+        if block in self._lookup[set_index]:
+            return
+        self._fill(set_index, block, tag)
+
+    def _fill(self, set_index: int, block: int, tag: int) -> None:
+        mapping = self._lookup[set_index]
+        blocks = self._blocks[set_index]
+        if len(mapping) < self.assoc:
+            way = blocks.index(None)
+        else:
+            way = self.policy.victim_way(set_index)
+            victim = blocks[way]
+            assert victim is not None
+            if self.victim_callback is not None:
+                self.victim_callback(victim, self._tags[set_index][way])
+            self.stats.evictions += 1
+            del mapping[victim]
+        blocks[way] = block
+        self._tags[set_index][way] = tag
+        mapping[block] = way
+        self.policy.on_insert(set_index, way)
+
+    def set_tag(self, block: int, tag: int) -> bool:
+        """Overwrite the metadata tag of a resident block.
+
+        Returns True if the block was resident."""
+        set_index = self.set_index(block)
+        way = self._lookup[set_index].get(block)
+        if way is None:
+            return False
+        self._tags[set_index][way] = tag
+        return True
+
+    def invalidate(self, block: int) -> bool:
+        """Remove ``block`` (coherence invalidation).  No victim callback
+        is fired: an invalidation is not a capacity eviction.
+
+        Returns True if the block was resident."""
+        set_index = self.set_index(block)
+        way = self._lookup[set_index].pop(block, None)
+        if way is None:
+            return False
+        self._blocks[set_index][way] = None
+        self.stats.invalidations += 1
+        return True
+
+    def reset_tags(self, tag: int = 0) -> None:
+        """Set every resident block's metadata tag to ``tag`` (used when
+        the FPTable profiler resets all phaseID tables -- Section 5.5)."""
+        for set_index, mapping in enumerate(self._lookup):
+            tags = self._tags[set_index]
+            for way in mapping.values():
+                tags[way] = tag
+
+    def flush(self) -> None:
+        """Empty the cache without firing victim callbacks."""
+        for set_index in range(self.num_sets):
+            self._lookup[set_index].clear()
+            self._blocks[set_index] = [None] * self.assoc

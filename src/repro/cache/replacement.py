@@ -1,0 +1,284 @@
+"""Cache replacement policies (Section 5.7 of the paper).
+
+Each policy manages the recency/re-reference state of one cache and is
+driven by three events per set: a hit, an insertion, and the choice of a
+victim.  Implemented policies:
+
+* ``lru``    -- least-recently-used.
+* ``fifo``   -- insertion order.
+* ``random`` -- uniform random victim.
+* ``lip``    -- LRU Insertion Policy (Qureshi et al., ISCA'07): insert at
+  the LRU position, promote to MRU on hit.
+* ``bip``    -- Bimodal Insertion Policy: LIP, but insert at MRU with a
+  small probability epsilon.
+* ``dip``    -- Dynamic Insertion Policy: set-duels LRU against BIP.
+* ``srrip``  -- Static Re-Reference Interval Prediction (Jaleel et al.,
+  ISCA'10) with 2-bit RRPVs, hit-priority promotion.
+* ``brrip``  -- Bimodal RRIP: inserts with distant RRPV most of the time.
+
+Policies keep per-set state indexed by *way*.  The owning cache tells the
+policy how many sets/ways it has at construction time.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List
+
+
+class ReplacementPolicy:
+    """Interface for per-set replacement state machines."""
+
+    name = "abstract"
+
+    def __init__(self, num_sets: int, assoc: int, rng: random.Random):
+        self.num_sets = num_sets
+        self.assoc = assoc
+        self.rng = rng
+
+    def on_hit(self, set_index: int, way: int) -> None:
+        """A block in ``way`` of ``set_index`` was re-referenced."""
+        raise NotImplementedError
+
+    def on_insert(self, set_index: int, way: int) -> None:
+        """A new block was filled into ``way`` of ``set_index``."""
+        raise NotImplementedError
+
+    def victim_way(self, set_index: int) -> int:
+        """Choose the way to evict from a full set."""
+        raise NotImplementedError
+
+    def on_miss(self, set_index: int) -> None:
+        """A demand miss occurred in ``set_index`` (used by set dueling)."""
+
+
+class _StackPolicy(ReplacementPolicy):
+    """Shared machinery for recency-stack policies (LRU/FIFO/LIP/BIP).
+
+    Each set keeps a list of ways ordered MRU-first.  Subclasses decide
+    where insertions land and whether hits promote.
+    """
+
+    promote_on_hit = True
+
+    def __init__(self, num_sets: int, assoc: int, rng: random.Random):
+        super().__init__(num_sets, assoc, rng)
+        self._stacks: List[List[int]] = [
+            list(range(assoc)) for _ in range(num_sets)
+        ]
+
+    def on_hit(self, set_index: int, way: int) -> None:
+        if self.promote_on_hit:
+            stack = self._stacks[set_index]
+            stack.remove(way)
+            stack.insert(0, way)
+
+    def _insert_position(self, set_index: int) -> int:
+        raise NotImplementedError
+
+    def on_insert(self, set_index: int, way: int) -> None:
+        stack = self._stacks[set_index]
+        stack.remove(way)
+        stack.insert(self._insert_position(set_index), way)
+
+    def victim_way(self, set_index: int) -> int:
+        return self._stacks[set_index][-1]
+
+
+class LruPolicy(_StackPolicy):
+    """Classic LRU: insert at MRU, promote on hit, evict LRU."""
+
+    name = "lru"
+
+    def _insert_position(self, set_index: int) -> int:
+        return 0
+
+
+class FifoPolicy(_StackPolicy):
+    """FIFO: insert at MRU but never promote, so eviction is by age."""
+
+    name = "fifo"
+    promote_on_hit = False
+
+    def _insert_position(self, set_index: int) -> int:
+        return 0
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniform random victim selection."""
+
+    name = "random"
+
+    def on_hit(self, set_index: int, way: int) -> None:
+        pass
+
+    def on_insert(self, set_index: int, way: int) -> None:
+        pass
+
+    def victim_way(self, set_index: int) -> int:
+        return self.rng.randrange(self.assoc)
+
+
+class LipPolicy(_StackPolicy):
+    """LRU Insertion Policy: new blocks land at the LRU position.
+
+    Streaming blocks are evicted before they can displace the resident
+    working set; a block is only retained if it is re-referenced.
+    """
+
+    name = "lip"
+
+    def _insert_position(self, set_index: int) -> int:
+        return self.assoc - 1
+
+
+class BipPolicy(_StackPolicy):
+    """Bimodal Insertion Policy: LIP with occasional MRU insertion."""
+
+    name = "bip"
+    epsilon = 1.0 / 32.0
+
+    def _insert_position(self, set_index: int) -> int:
+        if self.rng.random() < self.epsilon:
+            return 0
+        return self.assoc - 1
+
+
+class DipPolicy(_StackPolicy):
+    """Dynamic Insertion Policy: set-duels LRU vs BIP.
+
+    A few leader sets always use LRU, a few always use BIP; a saturating
+    PSEL counter tracks which leader group misses less and follower sets
+    use the winner's insertion position.
+    """
+
+    name = "dip"
+    psel_bits = 10
+    leader_period = 32  # one LRU leader and one BIP leader per period
+
+    def __init__(self, num_sets: int, assoc: int, rng: random.Random):
+        super().__init__(num_sets, assoc, rng)
+        self._psel = (1 << self.psel_bits) // 2
+        self._psel_max = (1 << self.psel_bits) - 1
+
+    def _set_role(self, set_index: int) -> str:
+        phase = set_index % self.leader_period
+        if phase == 0:
+            return "lru_leader"
+        if phase == self.leader_period // 2:
+            return "bip_leader"
+        return "follower"
+
+    def on_miss(self, set_index: int) -> None:
+        role = self._set_role(set_index)
+        if role == "lru_leader" and self._psel < self._psel_max:
+            self._psel += 1
+        elif role == "bip_leader" and self._psel > 0:
+            self._psel -= 1
+
+    def _bip_position(self) -> int:
+        if self.rng.random() < BipPolicy.epsilon:
+            return 0
+        return self.assoc - 1
+
+    def _insert_position(self, set_index: int) -> int:
+        role = self._set_role(set_index)
+        if role == "lru_leader":
+            return 0
+        if role == "bip_leader":
+            return self._bip_position()
+        # Follower sets: PSEL high means BIP leaders missed less.
+        if self._psel > self._psel_max // 2:
+            return self._bip_position()
+        return 0
+
+
+class SrripPolicy(ReplacementPolicy):
+    """Static RRIP with 2-bit re-reference prediction values.
+
+    Blocks are inserted with a *long* re-reference prediction (RRPV =
+    max-1), promoted to *near-immediate* (0) on hit, and the victim is any
+    block predicted *distant* (RRPV = max), aging the whole set until one
+    appears.
+    """
+
+    name = "srrip"
+    rrpv_bits = 2
+
+    def __init__(self, num_sets: int, assoc: int, rng: random.Random):
+        super().__init__(num_sets, assoc, rng)
+        self.rrpv_max = (1 << self.rrpv_bits) - 1
+        # All ways start "distant" so cold fills pick way 0 first.
+        self._rrpv: List[List[int]] = [
+            [self.rrpv_max] * assoc for _ in range(num_sets)
+        ]
+
+    def on_hit(self, set_index: int, way: int) -> None:
+        self._rrpv[set_index][way] = 0
+
+    def _insert_rrpv(self) -> int:
+        return self.rrpv_max - 1
+
+    def on_insert(self, set_index: int, way: int) -> None:
+        self._rrpv[set_index][way] = self._insert_rrpv()
+
+    def victim_way(self, set_index: int) -> int:
+        rrpvs = self._rrpv[set_index]
+        while True:
+            for way, value in enumerate(rrpvs):
+                if value == self.rrpv_max:
+                    return way
+            for way in range(self.assoc):
+                rrpvs[way] += 1
+
+
+class BrripPolicy(SrripPolicy):
+    """Bimodal RRIP: insert distant most of the time, long occasionally.
+
+    Designed for streaming/thrashing access patterns such as OLTP
+    instruction fetch (this is why the paper's Fig. 9 shows BRRIP as the
+    best standalone policy for the baseline).
+    """
+
+    name = "brrip"
+    epsilon = 1.0 / 32.0
+
+    def _insert_rrpv(self) -> int:
+        if self.rng.random() < self.epsilon:
+            return self.rrpv_max - 1
+        return self.rrpv_max
+
+
+_POLICIES: Dict[str, Callable[[int, int, random.Random], ReplacementPolicy]]
+_POLICIES = {
+    cls.name: cls
+    for cls in (
+        LruPolicy,
+        FifoPolicy,
+        RandomPolicy,
+        LipPolicy,
+        BipPolicy,
+        DipPolicy,
+        SrripPolicy,
+        BrripPolicy,
+    )
+}
+
+
+def policy_names() -> List[str]:
+    """Names of all registered replacement policies."""
+    return sorted(_POLICIES)
+
+
+def make_policy(
+    name: str, num_sets: int, assoc: int, rng: random.Random
+) -> ReplacementPolicy:
+    """Instantiate a registered replacement policy by name."""
+    try:
+        factory = _POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown replacement policy {name!r}; "
+            f"choose from {policy_names()}"
+        ) from None
+    return factory(num_sets, assoc, rng)

@@ -1,0 +1,16 @@
+"""The paper's contribution: STREX team formation, the identical-
+transaction optimal scheduler, FPTable profiling, and hardware costs."""
+
+from repro.core.fptable import FPTable, PAPER_FPTABLE, profile_fptable
+from repro.core.hwcost import FieldWidths, HardwareCostModel
+from repro.core.teams import Team, TeamFormationUnit
+
+__all__ = [
+    "FPTable",
+    "PAPER_FPTABLE",
+    "profile_fptable",
+    "FieldWidths",
+    "HardwareCostModel",
+    "Team",
+    "TeamFormationUnit",
+]

@@ -1,0 +1,129 @@
+"""Hardware storage-cost model (Table 4 and Section 5.6).
+
+Computes the per-core storage in bits/bytes for STREX's two units (thread
+scheduler and team formation) and for the hybrid's additional SLICC cache
+monitor unit, from the same field widths as Table 4 of the paper.  Also
+provides the STREX-vs-PIF storage comparison quoted in the abstract
+("less than 2% of the storage required by PIF").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.config import SystemConfig
+from repro.prefetch.pif import PifIdealPrefetcher
+
+
+@dataclass(frozen=True)
+class FieldWidths:
+    """Bit widths of the hardware structures' fields (Table 4)."""
+
+    thread_id_bits: int = 12
+    context_pointer_bits: int = 48
+    lead_flag_bits: int = 1
+    phase_counter_bits: int = 8
+    phase_tag_bits: int = 8
+    timestamp_bits: int = 32
+    type_id_bits: int = 4
+    team_id_bits: int = 4
+    team_index_bits: int = 8
+    # SLICC cache monitor unit (for the hybrid).
+    missed_tag_queue_bits: int = 60
+    miss_shift_vector_bits: int = 100
+    cache_signature_bits: int = 2048
+
+
+class HardwareCostModel:
+    """Storage-cost calculator for one core."""
+
+    def __init__(self, config: SystemConfig,
+                 widths: FieldWidths = FieldWidths(),
+                 max_team_size: int = 20,
+                 formation_window: int = 30):
+        self.config = config
+        self.widths = widths
+        self.max_team_size = max_team_size
+        self.formation_window = formation_window
+
+    # -- Thread scheduler unit -----------------------------------------
+    def thread_queue_bits(self) -> int:
+        """Thread queue: one entry per possible team member."""
+        w = self.widths
+        entry = w.thread_id_bits + w.context_pointer_bits + w.lead_flag_bits
+        return self.max_team_size * entry
+
+    def phase_counter_bits(self) -> int:
+        """The per-core phaseID counter."""
+        return self.widths.phase_counter_bits
+
+    def pidt_bits(self) -> int:
+        """Auxiliary phaseID table: one tag per L1-I cache block."""
+        return self.config.l1i.num_blocks * self.widths.phase_tag_bits
+
+    def thread_scheduler_bits(self) -> int:
+        """Total thread-scheduler storage per core."""
+        return (
+            self.thread_queue_bits()
+            + self.phase_counter_bits()
+            + self.pidt_bits()
+        )
+
+    # -- Team formation unit ---------------------------------------------
+    def team_table_bits(self) -> int:
+        """Team management table over the formation window."""
+        w = self.widths
+        entry = (
+            w.thread_id_bits + w.timestamp_bits + w.type_id_bits
+            + w.team_id_bits + w.team_index_bits
+        )
+        return self.formation_window * entry
+
+    def strex_total_bits(self) -> int:
+        """All STREX storage per core."""
+        return self.thread_scheduler_bits() + self.team_table_bits()
+
+    # -- Hybrid (adds SLICC's cache monitor unit) -------------------------
+    def slicc_monitor_bits(self) -> int:
+        """SLICC cache monitor unit storage."""
+        w = self.widths
+        return (
+            w.missed_tag_queue_bits
+            + w.miss_shift_vector_bits
+            + w.cache_signature_bits
+        )
+
+    def hybrid_total_bits(self) -> int:
+        """All hybrid-system storage per core."""
+        return self.strex_total_bits() + self.slicc_monitor_bits()
+
+    # -- Comparisons -------------------------------------------------------
+    def strex_total_bytes(self) -> float:
+        """STREX storage per core in bytes."""
+        return self.strex_total_bits() / 8.0
+
+    def hybrid_total_bytes(self) -> float:
+        """Hybrid storage per core in bytes."""
+        return self.hybrid_total_bits() / 8.0
+
+    def fraction_of_pif(self) -> float:
+        """STREX storage as a fraction of PIF's per-core storage."""
+        return self.strex_total_bytes() / \
+            PifIdealPrefetcher.STORAGE_BYTES_PER_CORE
+
+    def breakdown(self) -> Dict[str, float]:
+        """Table 4-style per-component breakdown, in bits."""
+        return {
+            "thread_queue_bits": self.thread_queue_bits(),
+            "phase_counter_bits": self.phase_counter_bits(),
+            "pidt_bits": self.pidt_bits(),
+            "thread_scheduler_total_bits": self.thread_scheduler_bits(),
+            "team_table_bits": self.team_table_bits(),
+            "strex_total_bits": self.strex_total_bits(),
+            "strex_total_bytes": self.strex_total_bytes(),
+            "slicc_monitor_bits": self.slicc_monitor_bits(),
+            "hybrid_total_bits": self.hybrid_total_bits(),
+            "hybrid_total_bytes": self.hybrid_total_bytes(),
+            "fraction_of_pif": self.fraction_of_pif(),
+        }

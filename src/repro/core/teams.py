@@ -1,0 +1,82 @@
+"""Team formation unit (Sections 4.3 and 5.6).
+
+STREX groups *similar* transactions (same type, identified in hardware by
+the header-instruction address -- here, by the trace's type name) into
+teams of at most ``team_size`` threads, searching a window of up to 30
+in-flight transactions.  Teams are dispatched in the arrival order of
+the oldest thread in each team; a transaction with no same-type peers in
+the window (a *stray*) is scheduled individually, i.e. as a team of one.
+
+The hardware realization of this unit is the team management table costed
+in Table 4 (see :mod:`repro.core.hwcost`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.sim.thread import TxnThread
+
+
+class Team:
+    """An ordered group of same-type threads scheduled on one core."""
+
+    def __init__(self, threads: Sequence[TxnThread]):
+        if not threads:
+            raise ValueError("a team needs at least one thread")
+        types = {t.txn_type for t in threads}
+        if len(types) != 1:
+            raise ValueError("team members must share a transaction type")
+        self.threads: List[TxnThread] = list(threads)
+
+    @property
+    def txn_type(self) -> str:
+        """The team's transaction type."""
+        return self.threads[0].txn_type
+
+    @property
+    def oldest_arrival(self) -> int:
+        """Arrival index of the team's oldest member."""
+        return min(t.thread_id for t in self.threads)
+
+    def __len__(self) -> int:
+        return len(self.threads)
+
+    def __repr__(self) -> str:
+        return f"Team({self.txn_type}, size={len(self)})"
+
+
+class TeamFormationUnit:
+    """Forms teams over an arrival-ordered pool of threads.
+
+    Args:
+        team_size: maximum threads per team.
+        window: how many of the oldest unassigned transactions are
+            examined when forming each team (paper: 30).
+    """
+
+    def __init__(self, team_size: int = 10, window: int = 30):
+        if team_size <= 0 or window <= 0:
+            raise ValueError("team_size and window must be positive")
+        self.team_size = team_size
+        self.window = window
+
+    def form_teams(self, threads: Sequence[TxnThread]) -> List[Team]:
+        """Partition ``threads`` (arrival order) into teams.
+
+        Repeatedly takes the oldest unassigned transaction and collects
+        up to ``team_size`` same-type transactions from the current
+        window.  The resulting team list is ordered by oldest member,
+        which is also dispatch order.
+        """
+        remaining = list(threads)
+        teams: List[Team] = []
+        while remaining:
+            window = remaining[: self.window]
+            lead_type = window[0].txn_type
+            members = [t for t in window if t.txn_type == lead_type]
+            members = members[: self.team_size]
+            chosen = set(id(t) for t in members)
+            remaining = [t for t in remaining if id(t) not in chosen]
+            teams.append(Team(members))
+        return teams

@@ -1,0 +1,26 @@
+"""The mini OLTP storage manager: B+Trees, heap tables, locks, log,
+buffer-pool-resident pages, and the synthetic code layout that turns
+storage-manager control flow into instruction traces."""
+
+from repro.db.btree import BTreeIndex
+from repro.db.codemap import CodeLayout, CodeRegion, TraceRecorder
+from repro.db.engine import BASIC_FUNCTION_UNITS, Database, StorageManager
+from repro.db.heap import Table
+from repro.db.locks import LockManager
+from repro.db.log import LogManager
+from repro.db.storage import DataSpace, Page
+
+__all__ = [
+    "BTreeIndex",
+    "CodeLayout",
+    "CodeRegion",
+    "TraceRecorder",
+    "BASIC_FUNCTION_UNITS",
+    "Database",
+    "StorageManager",
+    "Table",
+    "LockManager",
+    "LogManager",
+    "DataSpace",
+    "Page",
+]

@@ -1,0 +1,223 @@
+"""A real B+Tree index whose nodes live at data block addresses.
+
+Keys are integers, values are record ids.  Every node occupies one data
+block, so an index traversal touches one data block per level -- the
+index-probe reference pattern whose root/inner-node sharing drives the
+coherence-miss growth in the paper's Fig. 5 ("they tend to access ... the
+same index roots during index probes").
+
+The tree is a textbook B+Tree: sorted keys per node, leaf chaining for
+range scans, recursive split on overflow.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, List, Optional, Tuple
+
+from repro.db.storage import DataSpace
+
+
+class _Node:
+    __slots__ = ("block", "keys", "children", "values", "next_leaf", "leaf")
+
+    def __init__(self, block: int, leaf: bool):
+        self.block = block
+        self.leaf = leaf
+        self.keys: List[int] = []
+        self.children: List["_Node"] = []
+        self.values: List[int] = []
+        self.next_leaf: Optional["_Node"] = None
+
+
+class BTreeIndex:
+    """B+Tree from integer key to integer record id.
+
+    Args:
+        name: index name (used as the data-space region label).
+        space: data address allocator.
+        order: max keys per node before splitting.
+    """
+
+    def __init__(self, name: str, space: DataSpace, order: int = 32):
+        if order < 4:
+            raise ValueError("order must be at least 4")
+        self.name = name
+        self.space = space
+        self.order = order
+        self.root: _Node = self._new_node(leaf=True)
+        self.size = 0
+
+    def _new_node(self, leaf: bool) -> _Node:
+        return _Node(self.space.allocate(f"index:{self.name}"), leaf)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def traverse(self, key: int) -> Tuple[Optional[int], List[int]]:
+        """Find ``key``; returns (record id or None, node blocks touched).
+
+        The block path is what the storage manager feeds to the trace
+        recorder: one data access per tree level, root first.
+        """
+        node = self.root
+        path = [node.block]
+        while not node.leaf:
+            index = bisect.bisect_right(node.keys, key)
+            node = node.children[index]
+            path.append(node.block)
+        index = bisect.bisect_left(node.keys, key)
+        if index < len(node.keys) and node.keys[index] == key:
+            return node.values[index], path
+        return None, path
+
+    def lookup(self, key: int) -> Optional[int]:
+        """Record id for ``key`` or None."""
+        value, _ = self.traverse(key)
+        return value
+
+    # ------------------------------------------------------------------
+    # Insert
+    # ------------------------------------------------------------------
+    def insert(self, key: int, value: int) -> List[int]:
+        """Insert a key; returns the node blocks touched."""
+        _, path = self.traverse(key)
+        self._insert_recursive(self.root, key, value)
+        self.size += 1
+        if len(self.root.keys) > self.order:
+            old_root = self.root
+            self.root = self._new_node(leaf=False)
+            self.root.children = [old_root]
+            self._split_child(self.root, 0)
+            path.append(self.root.block)
+        return path
+
+    def _insert_recursive(self, node: _Node, key: int, value: int) -> None:
+        if node.leaf:
+            index = bisect.bisect_left(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                node.values[index] = value
+                self.size -= 1  # overwrite, not growth
+                return
+            node.keys.insert(index, key)
+            node.values.insert(index, value)
+            return
+        index = bisect.bisect_right(node.keys, key)
+        child = node.children[index]
+        self._insert_recursive(child, key, value)
+        if len(child.keys) > self.order:
+            self._split_child(node, index)
+
+    def _split_child(self, parent: _Node, index: int) -> None:
+        child = parent.children[index]
+        mid = len(child.keys) // 2
+        sibling = self._new_node(child.leaf)
+        if child.leaf:
+            sibling.keys = child.keys[mid:]
+            sibling.values = child.values[mid:]
+            child.keys = child.keys[:mid]
+            child.values = child.values[:mid]
+            sibling.next_leaf = child.next_leaf
+            child.next_leaf = sibling
+            up_key = sibling.keys[0]
+        else:
+            up_key = child.keys[mid]
+            sibling.keys = child.keys[mid + 1:]
+            sibling.children = child.children[mid + 1:]
+            child.keys = child.keys[:mid]
+            child.children = child.children[:mid + 1]
+        parent.keys.insert(index, up_key)
+        parent.children.insert(index + 1, sibling)
+
+    # ------------------------------------------------------------------
+    # Delete
+    # ------------------------------------------------------------------
+    def delete(self, key: int) -> Tuple[bool, List[int]]:
+        """Remove ``key``; returns (deleted?, node blocks touched).
+
+        Deletion is leaf-local (no rebalancing): B+Trees in storage
+        managers commonly defer merging to offline reorganization, and
+        the structural invariants (sortedness, balance of the insert
+        path) are preserved because node shapes only shrink.
+        """
+        node = self.root
+        path = [node.block]
+        while not node.leaf:
+            index = bisect.bisect_right(node.keys, key)
+            node = node.children[index]
+            path.append(node.block)
+        index = bisect.bisect_left(node.keys, key)
+        if index >= len(node.keys) or node.keys[index] != key:
+            return False, path
+        node.keys.pop(index)
+        node.values.pop(index)
+        self.size -= 1
+        return True, path
+
+    # ------------------------------------------------------------------
+    # Range scan
+    # ------------------------------------------------------------------
+    def scan(self, low: int, high: int) -> Tuple[List[int], List[int]]:
+        """All values with low <= key <= high, plus blocks touched."""
+        node = self.root
+        blocks = [node.block]
+        while not node.leaf:
+            index = bisect.bisect_right(node.keys, low)
+            node = node.children[index]
+            blocks.append(node.block)
+        values: List[int] = []
+        current: Optional[_Node] = node
+        while current is not None:
+            for key, value in zip(current.keys, current.values):
+                if key > high:
+                    return values, blocks
+                if key >= low:
+                    values.append(value)
+            current = current.next_leaf
+            if current is not None:
+                blocks.append(current.block)
+        return values, blocks
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def height(self) -> int:
+        """Number of levels."""
+        node = self.root
+        levels = 1
+        while not node.leaf:
+            node = node.children[0]
+            levels += 1
+        return levels
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        """All (key, value) pairs in key order."""
+        node = self.root
+        while not node.leaf:
+            node = node.children[0]
+        current: Optional[_Node] = node
+        while current is not None:
+            yield from zip(current.keys, current.values)
+            current = current.next_leaf
+
+    def check_invariants(self) -> None:
+        """Assert sortedness and balance (used by property tests)."""
+        leaf_depths = set()
+
+        def visit(node: _Node, depth: int, lo: Optional[int],
+                  hi: Optional[int]) -> None:
+            assert node.keys == sorted(node.keys), "keys unsorted"
+            for key in node.keys:
+                assert lo is None or key >= lo, "key below bound"
+                assert hi is None or key <= hi, "key above bound"
+            if node.leaf:
+                leaf_depths.add(depth)
+                assert len(node.keys) == len(node.values)
+            else:
+                assert len(node.children) == len(node.keys) + 1
+                bounds = [lo] + node.keys + [hi]
+                for i, child in enumerate(node.children):
+                    visit(child, depth + 1, bounds[i], bounds[i + 1])
+
+        visit(self.root, 0, None, None)
+        assert len(leaf_depths) == 1, "tree is not balanced"

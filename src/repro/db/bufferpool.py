@@ -1,0 +1,150 @@
+"""Buffer pool manager (Shore-MT-style fix/unfix).
+
+The paper's system keeps the whole database in the buffer pool
+("the buffer-pool is configured to keep the whole database in memory"),
+so the pool never does I/O -- but its *bookkeeping* is still executed on
+every page access: the hash lookup, the pin-count update, and the clock
+replacement state.  Those bookkeeping structures are shared data that
+every transaction touches, which is exactly the kind of hot metadata the
+paper credits for cross-transaction data locality.
+
+This module implements a real pool: a frame table, a page->frame hash,
+pin/unpin reference counting, and clock (second-chance) replacement.
+The storage manager fixes pages through it; each fix reports the pool
+bucket block touched so the trace carries the bookkeeping traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+class BufferPoolError(RuntimeError):
+    """Raised on invalid pin/unpin sequences or pool exhaustion."""
+
+
+class Frame:
+    """One buffer frame."""
+
+    __slots__ = ("page", "pin_count", "referenced", "dirty")
+
+    def __init__(self) -> None:
+        self.page: Optional[int] = None
+        self.pin_count = 0
+        self.referenced = False
+        self.dirty = False
+
+
+class BufferPool:
+    """Clock-replacement buffer pool over page block addresses.
+
+    Args:
+        space: data address allocator (for the hash-bucket blocks).
+        num_frames: pool capacity in frames.
+        num_buckets: hash-directory buckets (each pinned to a block).
+    """
+
+    def __init__(self, space, num_frames: int = 256,
+                 num_buckets: int = 16):
+        if num_frames <= 0 or num_buckets <= 0:
+            raise ValueError("pool geometry must be positive")
+        self.num_frames = num_frames
+        self._frames: List[Frame] = [Frame() for _ in range(num_frames)]
+        self._page_frame: Dict[int, int] = {}
+        self._hand = 0
+        first = space.allocate("bufpool", num_buckets)
+        self._bucket_blocks = [first + i for i in range(num_buckets)]
+        self.fixes = 0
+        self.pool_hits = 0
+        self.pool_misses = 0
+        self.evictions = 0
+
+    def bucket_block(self, page: int) -> int:
+        """Hash-directory block guarding a page's pool entry."""
+        return self._bucket_blocks[page % len(self._bucket_blocks)]
+
+    # ------------------------------------------------------------------
+    # Fix / unfix
+    # ------------------------------------------------------------------
+    def fix(self, page: int, dirty: bool = False) -> Tuple[int, bool]:
+        """Pin a page in the pool.
+
+        Returns:
+            (hash-bucket block touched, pool hit flag).
+        """
+        self.fixes += 1
+        frame_id = self._page_frame.get(page)
+        if frame_id is not None:
+            frame = self._frames[frame_id]
+            frame.pin_count += 1
+            frame.referenced = True
+            frame.dirty = frame.dirty or dirty
+            self.pool_hits += 1
+            return self.bucket_block(page), True
+        self.pool_misses += 1
+        frame_id = self._allocate_frame()
+        frame = self._frames[frame_id]
+        frame.page = page
+        frame.pin_count = 1
+        frame.referenced = True
+        frame.dirty = dirty
+        self._page_frame[page] = frame_id
+        return self.bucket_block(page), False
+
+    def unfix(self, page: int) -> None:
+        """Unpin a previously fixed page."""
+        frame_id = self._page_frame.get(page)
+        if frame_id is None:
+            raise BufferPoolError(f"unfix of non-resident page {page}")
+        frame = self._frames[frame_id]
+        if frame.pin_count <= 0:
+            raise BufferPoolError(f"unfix of unpinned page {page}")
+        frame.pin_count -= 1
+
+    def _allocate_frame(self) -> int:
+        # Free frame first.
+        for frame_id, frame in enumerate(self._frames):
+            if frame.page is None:
+                return frame_id
+        # Clock sweep: skip pinned frames, clear reference bits.
+        for _ in range(2 * self.num_frames):
+            frame = self._frames[self._hand]
+            victim_id = self._hand
+            self._hand = (self._hand + 1) % self.num_frames
+            if frame.pin_count > 0:
+                continue
+            if frame.referenced:
+                frame.referenced = False
+                continue
+            del self._page_frame[frame.page]
+            self.evictions += 1
+            frame.page = None
+            frame.dirty = False
+            return victim_id
+        raise BufferPoolError("all frames pinned")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def is_resident(self, page: int) -> bool:
+        """True if a page currently occupies a frame."""
+        return page in self._page_frame
+
+    def pin_count(self, page: int) -> int:
+        """Current pin count of a page (0 if absent)."""
+        frame_id = self._page_frame.get(page)
+        if frame_id is None:
+            return 0
+        return self._frames[frame_id].pin_count
+
+    @property
+    def resident_pages(self) -> int:
+        """Number of occupied frames."""
+        return len(self._page_frame)
+
+    @property
+    def hit_rate(self) -> float:
+        """Pool hit rate over all fixes."""
+        if not self.fixes:
+            return 0.0
+        return self.pool_hits / self.fixes

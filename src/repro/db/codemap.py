@@ -1,0 +1,282 @@
+"""Synthetic code layout for the storage-manager substrate.
+
+The paper's transactions execute real Shore-MT machine code; we substitute
+a *code layout*: every storage-manager function (B+Tree traverse, tuple
+update, lock acquire, ...) and every transaction action wrapper is
+assigned a contiguous region of the instruction address space.  Executing
+a function emits a walk over its region's blocks, with data-dependent
+variation (skipped blocks for untaken branches, short backward loops).
+
+Because all transactions share one layout, same-type transactions walk
+nearly identical block sequences (the intra-type overlap of Fig. 2) and
+different types overlap on the shared basic functions (the cross-type
+overlap discussed with Fig. 1), while diverging in their wrappers.
+
+Sizes are specified in *L1-I size units* so the footprint-to-cache ratio
+is preserved across scale presets (DESIGN.md, Section 2).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Optional
+
+
+#: Instructions executed per 64-byte block visit.  x86 averages ~4 bytes
+#: per instruction (16 per block); short intra-block loops and revisits
+#: push the effective count per *first touch* higher.
+INSTRUCTIONS_PER_BLOCK = 20
+
+#: Base of the instruction address space, in blocks.  Data blocks are
+#: allocated far above this (see repro.db.storage), so the two never alias.
+CODE_BASE_BLOCK = 1 << 20
+
+
+@dataclass(frozen=True)
+class CodeRegion:
+    """A function's contiguous code region.
+
+    Attributes:
+        name: fully qualified function name.
+        start_block: first instruction block of the region.
+        num_blocks: region length in blocks.
+    """
+
+    name: str
+    start_block: int
+    num_blocks: int
+
+    @property
+    def end_block(self) -> int:
+        """One past the last block."""
+        return self.start_block + self.num_blocks
+
+    def blocks(self) -> range:
+        """All block numbers of this region."""
+        return range(self.start_block, self.end_block)
+
+    def walk_chunks(self) -> List[List[int]]:
+        """The region's static control-flow walk, as chunks of blocks.
+
+        Real code is not fetched as one long sequential run: basic
+        blocks span a few cache lines before a branch or call jumps
+        elsewhere.  Each region therefore has a fixed pseudo-random
+        *chunk permutation* -- short runs of 1-2 sequential blocks whose
+        order is shuffled once per region.  The permutation is a
+        property of the code (seeded by the region address), so every
+        transaction walks the same sequence: inter-transaction overlap
+        is untouched while next-line prefetchers only cover the blocks
+        inside a chunk.
+        """
+        return _region_chunks(self.start_block, self.num_blocks)
+
+
+@lru_cache(maxsize=4096)
+def _region_chunks(start_block: int, num_blocks: int) -> List[List[int]]:
+    rng = random.Random(start_block * 2654435761 % (2**31))
+    blocks = list(range(start_block, start_block + num_blocks))
+    chunks: List[List[int]] = []
+    index = 0
+    while index < len(blocks):
+        size = rng.randint(1, 2)
+        chunks.append(blocks[index:index + size])
+        index += size
+    rng.shuffle(chunks)
+    # Hot inner loops are a property of the code, not of the instance:
+    # a fraction of chunks replay immediately (2-3 trips).  Keeping this
+    # in the static walk means every transaction executes the same loop
+    # structure, so same-type instances stay positionally aligned.
+    looped: List[List[int]] = []
+    for chunk in chunks:
+        looped.append(chunk)
+        if rng.random() < 0.10:
+            for _ in range(rng.randint(1, 2)):
+                looped.append(chunk)
+    return looped
+
+
+class CodeLayout:
+    """Allocator and registry of code regions.
+
+    One layout is shared by all transactions of a workload suite; a
+    region, once allocated, is stable for the lifetime of the layout.
+
+    Args:
+        blocks_per_unit: blocks per L1-I size unit (``l1i.num_blocks``).
+    """
+
+    def __init__(self, blocks_per_unit: int):
+        if blocks_per_unit <= 0:
+            raise ValueError("blocks_per_unit must be positive")
+        self.blocks_per_unit = blocks_per_unit
+        self._next_block = CODE_BASE_BLOCK
+        self._regions: Dict[str, CodeRegion] = {}
+
+    def allocate(self, name: str, units: float) -> CodeRegion:
+        """Allocate ``units`` L1-I-sizes of code under ``name``.
+
+        Allocating an existing name returns the existing region (callers
+        may idempotently declare shared functions); the size must match.
+        """
+        num_blocks = max(1, round(units * self.blocks_per_unit))
+        existing = self._regions.get(name)
+        if existing is not None:
+            if existing.num_blocks != num_blocks:
+                raise ValueError(
+                    f"region {name!r} re-allocated with different size"
+                )
+            return existing
+        region = CodeRegion(name, self._next_block, num_blocks)
+        self._next_block += num_blocks
+        self._regions[name] = region
+        return region
+
+    def region(self, name: str) -> CodeRegion:
+        """Look up an allocated region."""
+        return self._regions[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._regions
+
+    def regions(self) -> List[CodeRegion]:
+        """All regions in allocation order."""
+        return sorted(self._regions.values(), key=lambda r: r.start_block)
+
+    @property
+    def total_blocks(self) -> int:
+        """Total allocated code size in blocks."""
+        return self._next_block - CODE_BASE_BLOCK
+
+    def units(self, num_blocks: int) -> float:
+        """Convert a block count to L1-I size units."""
+        return num_blocks / self.blocks_per_unit
+
+
+class PrivateContext:
+    """A transaction's private data working set (stack, local buffers).
+
+    Accesses cycle through a small set of blocks, so after warm-up they
+    hit in the L1-D; they model the register-spill/stack traffic that
+    keeps real D-MPKI denominators honest without adding sharing.
+    """
+
+    __slots__ = ("blocks", "_cursor")
+
+    def __init__(self, first_block: int, num_blocks: int):
+        self.blocks = [first_block + i for i in range(num_blocks)]
+        self._cursor = 0
+
+    def next_block(self) -> int:
+        """The next stack/buffer block in cyclic order."""
+        block = self.blocks[self._cursor]
+        self._cursor = (self._cursor + 1) % len(self.blocks)
+        return block
+
+
+class TraceRecorder:
+    """Emits trace events while the storage manager "executes" code.
+
+    The recorder walks each region's static chunk permutation
+    (:meth:`CodeRegion.walk_chunks`).  Behavioural knobs:
+
+    * ``skip_chunk_prob`` -- data-dependent divergence: an untaken
+      branch skips a whole chunk (a 2-4 block run), not isolated
+      blocks.  This lets STREX followers run long hit streaks between
+      divergence points (Section 2.2's partial-overlap structure);
+    * ``loop_prob``/``loop_span`` -- probability of an *instance-level*
+      extra backward loop re-touching recent blocks (rare; the static
+      loop structure lives in :func:`_region_chunks`);
+    * ``stack_prob`` -- probability that a block visit also touches the
+      transaction's private stack/buffer context;
+    * ``scratch_prob`` -- probability of touching the transaction's
+      streaming scratch data.
+
+    Data accesses are attached to the instruction block that was executing
+    when the storage manager touched the data (``touch_data``).
+    """
+
+    def __init__(
+        self,
+        builder,
+        rng: random.Random,
+        skip_chunk_prob: float = 0.08,
+        loop_prob: float = 0.01,
+        loop_span: int = 3,
+        context: Optional[PrivateContext] = None,
+        stack_prob: float = 0.25,
+        stack_write_frac: float = 0.4,
+        scratch: Optional[PrivateContext] = None,
+        scratch_prob: float = 0.05,
+    ):
+        self.builder = builder
+        self.rng = rng
+        self.skip_chunk_prob = skip_chunk_prob
+        self.loop_prob = loop_prob
+        self.loop_span = loop_span
+        self.context = context
+        self.stack_prob = stack_prob
+        self.stack_write_frac = stack_write_frac
+        self.scratch = scratch
+        self.scratch_prob = scratch_prob
+        self._current_block: Optional[int] = None
+
+    def execute(self, region: CodeRegion,
+                data_points: Optional[List[tuple]] = None) -> None:
+        """Walk a region once, optionally weaving in data accesses.
+
+        Args:
+            region: the code region to execute.
+            data_points: optional ``(dblock, dwrite)`` pairs, spread
+                evenly across the walk.
+        """
+        append = self.builder.append
+        rng = self.rng
+        context = self.context
+        pending = list(data_points or [])
+        stride = max(1, region.num_blocks // (len(pending) + 1))
+        position = 0
+        recent: List[int] = []
+        for chunk in region.walk_chunks():
+            if self.skip_chunk_prob and \
+                    rng.random() < self.skip_chunk_prob:
+                continue
+            for block in chunk:
+                self._current_block = block
+                if pending and position % stride == stride - 1:
+                    dblock, dwrite = pending.pop(0)
+                    append(block, INSTRUCTIONS_PER_BLOCK, dblock, dwrite)
+                elif context is not None and \
+                        rng.random() < self.stack_prob:
+                    write = 1 if rng.random() < self.stack_write_frac \
+                        else 0
+                    append(block, INSTRUCTIONS_PER_BLOCK,
+                           context.next_block(), write)
+                elif self.scratch is not None and \
+                        rng.random() < self.scratch_prob:
+                    # Per-transaction scratch (tuple copies, message
+                    # buffers): a cycle longer than the L1-D, so these
+                    # accesses stream and miss under every scheduler.
+                    append(block, INSTRUCTIONS_PER_BLOCK,
+                           self.scratch.next_block(), 1)
+                else:
+                    append(block, INSTRUCTIONS_PER_BLOCK)
+                recent.append(block)
+                position += 1
+            if self.loop_prob and rng.random() < self.loop_prob:
+                for looped in recent[-self.loop_span:]:
+                    append(looped, INSTRUCTIONS_PER_BLOCK)
+        # Flush data accesses that the skipping left unattached.
+        for dblock, dwrite in pending:
+            self.touch_data(dblock, dwrite, region)
+
+    def touch_data(self, dblock: int, dwrite: int,
+                   region: Optional[CodeRegion] = None) -> None:
+        """Record a single data access at the current code position."""
+        block = self._current_block
+        if block is None:
+            if region is None:
+                raise RuntimeError("no current code block for data access")
+            block = region.start_block
+        self.builder.append(block, 2, dblock, dwrite)

@@ -1,0 +1,263 @@
+"""StorageManager: the basic functions of the paper's Fig. 1.
+
+Every OLTP transaction in the paper is composed of *actions* that call a
+small set of *basic functions*: index lookup (``R``), tuple update
+(``U``), tuple insert (``I``), and index scan (``IT``), on top of the
+buffer pool, lock manager and log.  This module implements those basic
+functions over the heap/B+Tree substrate and, crucially, attributes a
+shared code region to each one -- the cross-type instruction overlap of
+Section 2.1 ("all database transactions are composed of a subset of the
+aforementioned basic functions").
+
+Each basic function, when invoked, (1) mutates the real data structures
+and (2) emits, through the transaction's :class:`TraceRecorder`, the walk
+over its code region with the data blocks it touched woven in.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.db.bufferpool import BufferPool
+from repro.db.codemap import CodeLayout, TraceRecorder
+from repro.db.heap import Table
+from repro.db.locks import EXCLUSIVE, SHARED, LockManager
+from repro.db.log import LogManager
+from repro.db.storage import DataSpace
+
+
+#: Shared basic-function code sizes in L1-I units.  These are the code
+#: segments common to all transaction types; per-action wrapper code is
+#: sized by the workloads to hit the Table 3 footprints (see
+#: repro.workloads.base).
+BASIC_FUNCTION_UNITS: Dict[str, float] = {
+    "sm.txn_begin": 0.30,
+    "sm.txn_commit": 0.50,
+    "sm.lock_acquire": 0.35,
+    "sm.lock_release": 0.20,
+    "sm.log_write": 0.45,
+    "sm.bufpool_fix": 0.40,
+    "sm.btree_traverse": 1.20,
+    "sm.btree_insert": 0.65,
+    "sm.index_scan": 0.90,
+    "sm.rec_read": 0.65,
+    "sm.rec_update": 0.75,
+    "sm.rec_insert": 0.75,
+    "sm.catalog": 0.20,
+}
+
+
+class Database:
+    """A database instance: tables plus lock and log managers."""
+
+    def __init__(self, name: str, layout: CodeLayout,
+                 lock_buckets: int = 16):
+        self.name = name
+        self.layout = layout
+        self.space = DataSpace()
+        self.tables: Dict[str, Table] = {}
+        self.locks = LockManager(self.space, num_buckets=lock_buckets)
+        self.log = LogManager(self.space)
+        self.pool = BufferPool(self.space)
+        for region_name, units in BASIC_FUNCTION_UNITS.items():
+            layout.allocate(region_name, units)
+
+    def create_table(self, name: str, records_per_page: int = 16,
+                     index_order: int = 32,
+                     span_blocks: int = 1) -> Table:
+        """Create and register a table."""
+        if name in self.tables:
+            raise ValueError(f"table {name!r} already exists")
+        table = Table(name, self.space, records_per_page, index_order,
+                      span_blocks)
+        self.tables[name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        """Look up a table by name."""
+        return self.tables[name]
+
+
+class StorageManager:
+    """Per-transaction facade over a :class:`Database`.
+
+    One StorageManager is created per transaction execution; it binds the
+    transaction id, the trace recorder, and the RNG that drives
+    data-dependent control flow.
+    """
+
+    def __init__(self, db: Database, txn_id: int,
+                 recorder: TraceRecorder, rng: random.Random):
+        self.db = db
+        self.txn_id = txn_id
+        self.recorder = recorder
+        self.rng = rng
+        self._region = db.layout.region
+
+    # ------------------------------------------------------------------
+    # Transaction lifecycle
+    # ------------------------------------------------------------------
+    def begin(self) -> None:
+        """Start the transaction (touches catalog + begin code)."""
+        self.recorder.execute(self._region("sm.txn_begin"))
+        self.recorder.execute(self._region("sm.catalog"))
+
+    def commit(self) -> None:
+        """Commit: force the log, release all locks."""
+        log_blocks = self.db.log.append(payload_size=2)
+        self.recorder.execute(
+            self._region("sm.log_write"),
+            [(block, 1) for block in log_blocks],
+        )
+        release_blocks = self.db.locks.release_all(self.txn_id)
+        self.recorder.execute(
+            self._region("sm.lock_release"),
+            [(block, 1) for block in release_blocks[:4]],
+        )
+        self.recorder.execute(self._region("sm.txn_commit"))
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _lock(self, table: str, key: int, mode: int) -> None:
+        block, _ = self.db.locks.acquire(self.txn_id, table, key, mode)
+        self.recorder.execute(self._region("sm.lock_acquire"),
+                              [(block, 1)])
+
+    def _log(self) -> None:
+        blocks = self.db.log.append()
+        self.recorder.execute(self._region("sm.log_write"),
+                              [(block, 1) for block in blocks])
+
+    #: Probability that touching a B+Tree node updates its latch word
+    #: (Shore-MT pins/latches every page it traverses; the counter update
+    #: is a write to a shared line).
+    LATCH_WRITE_PROB = 0.5
+
+    def _path_points(self, blocks: List[int]) -> List[tuple]:
+        rng = self.rng
+        return [
+            (block, 1 if rng.random() < self.LATCH_WRITE_PROB else 0)
+            for block in blocks
+        ]
+
+    def _fix(self, blocks: List[int], write: bool = False) -> None:
+        """Fix the touched pages in the buffer pool.
+
+        The pool's hash-directory bucket is read on every fix (shared
+        bookkeeping); the page blocks themselves follow.  Pages are
+        unfixed immediately after the access -- the generator is serial,
+        so pins never overlap.
+        """
+        flag = 1 if write else 0
+        points = []
+        page = blocks[0] if blocks else None
+        if page is not None:
+            bucket, _ = self.db.pool.fix(page, dirty=write)
+            points.append((bucket, 0))
+            self.db.pool.unfix(page)
+        points.extend((block, flag) for block in blocks[:3])
+        self.recorder.execute(self._region("sm.bufpool_fix"), points)
+
+    # ------------------------------------------------------------------
+    # Basic functions (Fig. 1's R / U / I / IT)
+    # ------------------------------------------------------------------
+    def index_lookup(self, table_name: str, key: int,
+                     for_update: bool = False) -> Optional[dict]:
+        """``R(table)``: probe the primary index and read the tuple."""
+        table = self.db.table(table_name)
+        mode = EXCLUSIVE if for_update else SHARED
+        self._lock(table_name, key, mode)
+        rid, blocks = table.lookup(key)
+        self.recorder.execute(
+            self._region("sm.btree_traverse"),
+            self._path_points(blocks),
+        )
+        if rid is None:
+            return None
+        record, rec_blocks = table.read(rid)
+        self._fix(rec_blocks)
+        self.recorder.execute(
+            self._region("sm.rec_read"),
+            [(block, 0) for block in rec_blocks[:6]],
+        )
+        return record
+
+    def tuple_update(self, table_name: str, key: int,
+                     fields: dict) -> bool:
+        """``U(table)``: locate a tuple by key and update it in place."""
+        table = self.db.table(table_name)
+        self._lock(table_name, key, EXCLUSIVE)
+        rid, blocks = table.lookup(key)
+        self.recorder.execute(
+            self._region("sm.btree_traverse"),
+            self._path_points(blocks),
+        )
+        if rid is None:
+            return False
+        touched = table.update(rid, fields)
+        self._fix(touched, write=True)
+        self.recorder.execute(
+            self._region("sm.rec_update"),
+            [(block, 1) for block in touched[:6]],
+        )
+        self._log()
+        return True
+
+    def tuple_insert(self, table_name: str, key: int,
+                     record: dict) -> int:
+        """``I(table)``: insert a tuple and maintain the primary index."""
+        table = self.db.table(table_name)
+        self._lock(table_name, key, EXCLUSIVE)
+        rid, blocks = table.insert(key, record)
+        self._fix(blocks[:2], write=True)
+        self.recorder.execute(
+            self._region("sm.rec_insert"),
+            [(block, 1) for block in blocks[:4]],
+        )
+        self.recorder.execute(
+            self._region("sm.btree_insert"),
+            [(block, 1) for block in blocks[2:]],
+        )
+        self._log()
+        return rid
+
+    def tuple_delete(self, table_name: str, key: int) -> bool:
+        """``D(table)``: delete a tuple and its primary-index entry."""
+        table = self.db.table(table_name)
+        self._lock(table_name, key, EXCLUSIVE)
+        deleted, blocks = table.delete(key)
+        self._fix(blocks[:2], write=True)
+        self.recorder.execute(
+            self._region("sm.btree_traverse"),
+            self._path_points(blocks[:5]),
+        )
+        if deleted:
+            self.recorder.execute(
+                self._region("sm.rec_update"),
+                [(block, 1) for block in blocks[-3:]],
+            )
+            self._log()
+        return deleted
+
+    def index_scan(self, table_name: str, low: int, high: int,
+                   index: Optional[str] = None,
+                   limit: Optional[int] = None) -> List[dict]:
+        """``IT(table)``: range scan, reading the qualifying tuples."""
+        table = self.db.table(table_name)
+        self._lock(table_name, low, SHARED)
+        tree = table.secondary[index] if index else table.primary
+        rids, blocks = tree.scan(low, high)
+        if limit is not None:
+            rids = rids[:limit]
+        self.recorder.execute(
+            self._region("sm.index_scan"),
+            self._path_points(blocks),
+        )
+        records = []
+        for rid in rids:
+            record, rec_blocks = table.read(rid)
+            self.recorder.touch_data(rec_blocks[-1], 0)
+            records.append(record)
+        return records

@@ -1,0 +1,118 @@
+"""Heap tables: slotted pages of records plus a primary B+Tree index.
+
+A :class:`Table` owns its pages, a monotonically growing rid space, and a
+primary-key index.  Table metadata (schema pointer, page directory head,
+tuple count) lives in a dedicated metadata block that every operation
+touches -- same-type transactions therefore share these blocks, which is
+one of the data-sharing channels the paper identifies ("the same metadata
+and locks of the same tables").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.db.btree import BTreeIndex
+from repro.db.storage import DataSpace, Page
+
+
+class Table:
+    """A heap table with a primary index.
+
+    Args:
+        name: table name.
+        space: data address allocator.
+        records_per_page: slot count per page.
+        index_order: B+Tree node fanout for the primary index.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        space: DataSpace,
+        records_per_page: int = 16,
+        index_order: int = 32,
+        span_blocks: int = 1,
+    ):
+        self.name = name
+        self.space = space
+        self.records_per_page = records_per_page
+        self.span_blocks = span_blocks
+        self.metadata_block = space.allocate(f"meta:{name}")
+        self.primary = BTreeIndex(f"{name}.pk", space, order=index_order)
+        self.secondary: Dict[str, BTreeIndex] = {}
+        self._pages: List[Page] = []
+        self._rid_page: Dict[int, Page] = {}
+        self._next_rid = 0
+
+    # ------------------------------------------------------------------
+    # Secondary indexes
+    # ------------------------------------------------------------------
+    def add_secondary_index(self, name: str, order: int = 32) -> BTreeIndex:
+        """Create a named secondary index over this table."""
+        index = BTreeIndex(f"{self.name}.{name}", self.space, order=order)
+        self.secondary[name] = index
+        return index
+
+    # ------------------------------------------------------------------
+    # Record operations; each returns the data blocks it touched.
+    # ------------------------------------------------------------------
+    def insert(self, key: int, record: dict) -> Tuple[int, List[int]]:
+        """Insert a record under primary key; returns (rid, blocks)."""
+        blocks = [self.metadata_block]
+        if not self._pages or self._pages[-1].full:
+            page = Page(
+                self.space.allocate(f"heap:{self.name}",
+                                    self.span_blocks),
+                self.records_per_page,
+                span=self.span_blocks,
+            )
+            self._pages.append(page)
+        page = self._pages[-1]
+        rid = self._next_rid
+        self._next_rid += 1
+        page.insert(rid, record)
+        self._rid_page[rid] = page
+        blocks.extend(page.blocks())
+        blocks.extend(self.primary.insert(key, rid))
+        return rid, blocks
+
+    def read(self, rid: int) -> Tuple[dict, List[int]]:
+        """Read a record by rid; returns (record, blocks)."""
+        page = self._rid_page[rid]
+        return page.get(rid), [self.metadata_block] + page.blocks()
+
+    def update(self, rid: int, fields: dict) -> List[int]:
+        """Update fields of a record in place; returns blocks touched."""
+        page = self._rid_page[rid]
+        page.get(rid).update(fields)
+        return [self.metadata_block] + page.blocks()
+
+    def lookup(self, key: int) -> Tuple[Optional[int], List[int]]:
+        """Primary-key probe; returns (rid or None, blocks touched)."""
+        rid, path = self.primary.traverse(key)
+        return rid, [self.metadata_block] + path
+
+    def delete(self, key: int) -> Tuple[bool, List[int]]:
+        """Delete a record by primary key; returns (deleted?, blocks)."""
+        rid, path = self.primary.traverse(key)
+        blocks = [self.metadata_block] + path
+        if rid is None:
+            return False, blocks
+        deleted, delete_path = self.primary.delete(key)
+        blocks.extend(delete_path)
+        page = self._rid_page.pop(rid, None)
+        if page is not None:
+            page.records.pop(rid, None)
+            blocks.extend(page.blocks())
+        return deleted, blocks
+
+    @property
+    def num_records(self) -> int:
+        """Live record count."""
+        return len(self._rid_page)
+
+    @property
+    def num_pages(self) -> int:
+        """Allocated heap pages."""
+        return len(self._pages)

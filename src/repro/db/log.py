@@ -1,0 +1,42 @@
+"""Write-ahead log manager.
+
+Transactions append log records to a circular in-memory log buffer; each
+append writes the current tail block and, every ``records_per_block``
+appends, advances to the next block.  The tail block is write-shared by
+every committing transaction -- a classic OLTP coherence hot spot.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class LogManager:
+    """Circular log buffer of ``num_blocks`` data blocks."""
+
+    def __init__(self, space, num_blocks: int = 32,
+                 records_per_block: int = 4):
+        if num_blocks <= 0 or records_per_block <= 0:
+            raise ValueError("log geometry must be positive")
+        first = space.allocate("log", num_blocks)
+        self._blocks = [first + i for i in range(num_blocks)]
+        self.records_per_block = records_per_block
+        self._tail = 0
+        self._in_block = 0
+        self.records_written = 0
+
+    def append(self, payload_size: int = 1) -> List[int]:
+        """Append one log record; returns the blocks written."""
+        blocks = [self._blocks[self._tail]]
+        self.records_written += 1
+        self._in_block += max(1, payload_size)
+        while self._in_block >= self.records_per_block:
+            self._in_block -= self.records_per_block
+            self._tail = (self._tail + 1) % len(self._blocks)
+            blocks.append(self._blocks[self._tail])
+        return blocks
+
+    @property
+    def tail_block(self) -> int:
+        """Current tail block address."""
+        return self._blocks[self._tail]

@@ -1,0 +1,83 @@
+"""Data address space and buffer-pool-resident page abstraction.
+
+The database substrate keeps its working state in real Python objects
+(B+Tree nodes, heap pages, lock buckets, log buffers), each pinned to a
+*data block address* so that executing a transaction produces the data
+reference stream the L1-D/coherence model consumes.
+
+The paper keeps the whole database in an in-memory buffer pool; we do the
+same -- there is no I/O path, only addresses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+#: Base of the data address space, in blocks, far above the code space.
+DATA_BASE_BLOCK = 1 << 28
+
+
+class DataSpace:
+    """Allocator of data block addresses, grouped into named regions."""
+
+    def __init__(self) -> None:
+        self._next_block = DATA_BASE_BLOCK
+        self._region_sizes: Dict[str, int] = {}
+
+    def allocate(self, region: str, num_blocks: int = 1) -> int:
+        """Allocate ``num_blocks`` contiguous blocks; returns the first."""
+        if num_blocks <= 0:
+            raise ValueError("num_blocks must be positive")
+        start = self._next_block
+        self._next_block += num_blocks
+        self._region_sizes[region] = (
+            self._region_sizes.get(region, 0) + num_blocks
+        )
+        return start
+
+    def region_blocks(self, region: str) -> int:
+        """Total blocks allocated under a region name."""
+        return self._region_sizes.get(region, 0)
+
+    @property
+    def total_blocks(self) -> int:
+        """Total data blocks allocated."""
+        return self._next_block - DATA_BASE_BLOCK
+
+
+class Page:
+    """A fixed-capacity slotted page spanning ``span`` cache blocks.
+
+    Real OLTP tuples are wide (TPC-C's customer row is ~655 bytes, stock
+    ~306 bytes), so touching a tuple touches several 64 B blocks; pages
+    of wide-tuple tables span multiple blocks and an access returns the
+    blocks the tuple occupies.
+    """
+
+    __slots__ = ("block", "capacity", "span", "records")
+
+    def __init__(self, block: int, capacity: int, span: int = 1):
+        self.block = block
+        self.capacity = capacity
+        self.span = span
+        self.records: Dict[int, dict] = {}
+
+    @property
+    def full(self) -> bool:
+        """True when no slot is free."""
+        return len(self.records) >= self.capacity
+
+    def blocks(self) -> list:
+        """All cache blocks this page spans."""
+        return [self.block + i for i in range(self.span)]
+
+    def insert(self, rid: int, record: dict) -> None:
+        """Place a record in this page."""
+        if self.full:
+            raise RuntimeError("page is full")
+        self.records[rid] = record
+
+    def get(self, rid: int) -> dict:
+        """Fetch a record by rid."""
+        return self.records[rid]

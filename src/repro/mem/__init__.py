@@ -1,0 +1,5 @@
+"""DRAM timing models."""
+
+from repro.mem.dram import DramModel
+
+__all__ = ["DramModel"]

@@ -1,0 +1,5 @@
+"""On-chip interconnect models."""
+
+from repro.noc.torus import TorusNetwork, grid_shape
+
+__all__ = ["TorusNetwork", "grid_shape"]

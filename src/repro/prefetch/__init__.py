@@ -1,0 +1,14 @@
+"""Instruction prefetchers: next-line, idealized PIF, TIFS-lite."""
+
+from repro.prefetch.base import InstructionPrefetcher, NoPrefetcher
+from repro.prefetch.nextline import NextLinePrefetcher
+from repro.prefetch.pif import PifIdealPrefetcher
+from repro.prefetch.tifs import TifsPrefetcher
+
+__all__ = [
+    "InstructionPrefetcher",
+    "NoPrefetcher",
+    "NextLinePrefetcher",
+    "PifIdealPrefetcher",
+    "TifsPrefetcher",
+]

@@ -1,0 +1,66 @@
+"""Instruction prefetcher interface.
+
+Prefetchers in this reproduction model *latency hiding*: the hierarchy
+asks the prefetcher whether a demand L1-I miss was covered (i.e. the block
+would already be in flight or in a stream buffer).  Covered misses still
+generate L2 traffic -- this mirrors how the paper models PIF ("demand
+traffic is generated for cache blocks that would have otherwise missed")
+-- but they do not stall the core.
+
+Concrete implementations live in :mod:`repro.prefetch.nextline`,
+:mod:`repro.prefetch.pif` and :mod:`repro.prefetch.tifs`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class InstructionPrefetcher:
+    """Base class: never covers anything (no prefetching)."""
+
+    name = "none"
+
+    def __init__(self, num_cores: int):
+        self.num_cores = num_cores
+        self.covered_misses = 0
+        self.uncovered_misses = 0
+
+    def covers(self, core: int, block: int) -> bool:
+        """Would this demand miss have been hidden by the prefetcher?
+
+        Called only on L1-I demand misses, before :meth:`on_fetch`.
+        """
+        return False
+
+    def on_fetch(self, core: int, block: int, hit: bool) -> None:
+        """Observe a demand fetch (hit or miss) to update predictor state."""
+
+    def record(self, covered: bool) -> None:
+        """Book-keeping helper used by the hierarchy."""
+        if covered:
+            self.covered_misses += 1
+        else:
+            self.uncovered_misses += 1
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of misses the prefetcher hid."""
+        total = self.covered_misses + self.uncovered_misses
+        if not total:
+            return 0.0
+        return self.covered_misses / total
+
+    def snapshot(self) -> Dict[str, float]:
+        """Counters as a plain dict."""
+        return {
+            "covered_misses": self.covered_misses,
+            "uncovered_misses": self.uncovered_misses,
+            "coverage": self.coverage,
+        }
+
+
+class NoPrefetcher(InstructionPrefetcher):
+    """Explicit null prefetcher (the baseline configuration)."""
+
+    name = "none"

@@ -1,0 +1,70 @@
+"""TIFS-lite: temporal instruction fetch streaming (Ferdman et al.,
+MICRO'08), simplified.
+
+TIFS records the temporal stream of missed instruction blocks.  When a
+miss hits the head of a previously recorded stream, the following blocks
+of that stream are replayed (armed), covering subsequent misses as long
+as the program follows the recorded path.
+
+This simplified model keeps, per core, a map from a missed block to the
+sequence of blocks that followed it the last time, and arms a replay
+window when a miss matches.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Set
+
+from repro.prefetch.base import InstructionPrefetcher
+
+
+class TifsPrefetcher(InstructionPrefetcher):
+    """Temporal-streaming prefetcher over the miss sequence.
+
+    Args:
+        num_cores: number of cores.
+        stream_length: blocks replayed per stream head hit.
+        history_heads: per-core capacity of the stream-head table.
+    """
+
+    name = "tifs"
+
+    def __init__(self, num_cores: int, stream_length: int = 8,
+                 history_heads: int = 2048):
+        super().__init__(num_cores)
+        self.stream_length = stream_length
+        self.history_heads = history_heads
+        self._history: List[Dict[int, List[int]]] = [
+            {} for _ in range(num_cores)
+        ]
+        self._recent_misses: List[Deque[int]] = [
+            deque(maxlen=stream_length + 1) for _ in range(num_cores)
+        ]
+        self._armed: List[Set[int]] = [set() for _ in range(num_cores)]
+
+    def covers(self, core: int, block: int) -> bool:
+        return block in self._armed[core]
+
+    def on_fetch(self, core: int, block: int, hit: bool) -> None:
+        if hit:
+            return
+        armed = self._armed[core]
+        armed.discard(block)
+        history = self._history[core]
+        recent = self._recent_misses[core]
+        # Extend the stream recorded at each recent head with this miss.
+        for head in recent:
+            stream = history.get(head)
+            if stream is not None and len(stream) < self.stream_length:
+                stream.append(block)
+        # Record a new head for this miss (bounded table).
+        if block not in history:
+            if len(history) >= self.history_heads:
+                history.pop(next(iter(history)))
+            history[block] = []
+        else:
+            # Replay: arm the stream that followed this block previously.
+            armed.update(history[block])
+            history[block] = []
+        recent.append(block)

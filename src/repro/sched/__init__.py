@@ -1,0 +1,16 @@
+"""Schedulers: conventional baseline, STREX, SLICC, and the hybrid."""
+
+from repro.sched.base import BaselineScheduler, Scheduler
+from repro.sched.hybrid import HybridScheduler
+from repro.sched.slicc import SliccScheduler
+from repro.sched.smt import SmtBaselineScheduler
+from repro.sched.strex import StrexScheduler
+
+__all__ = [
+    "BaselineScheduler",
+    "Scheduler",
+    "HybridScheduler",
+    "SliccScheduler",
+    "SmtBaselineScheduler",
+    "StrexScheduler",
+]

@@ -1,0 +1,15 @@
+"""The multicore trace-replay simulation engine and results."""
+
+from repro.sim.api import PREFETCHERS, SCHEDULERS, simulate
+from repro.sim.engine import SimulationEngine
+from repro.sim.results import RunResult
+from repro.sim.thread import TxnThread
+
+__all__ = [
+    "PREFETCHERS",
+    "SCHEDULERS",
+    "simulate",
+    "SimulationEngine",
+    "RunResult",
+    "TxnThread",
+]

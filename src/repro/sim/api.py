@@ -1,0 +1,93 @@
+"""High-level simulation entry points.
+
+:func:`simulate` is the one-call API: pick a scheduler (and optional
+prefetcher) by name and run a set of traces through the engine.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.config import SystemConfig
+from repro.prefetch.base import NoPrefetcher
+from repro.prefetch.nextline import NextLinePrefetcher
+from repro.prefetch.pif import PifIdealPrefetcher
+from repro.prefetch.tifs import TifsPrefetcher
+from repro.sched.base import BaselineScheduler
+from repro.sched.hybrid import HybridScheduler
+from repro.sched.slicc import SliccScheduler
+from repro.sched.smt import SmtBaselineScheduler
+from repro.sched.strex import StrexScheduler
+from repro.sim.engine import SimulationEngine
+from repro.sim.results import RunResult
+from repro.trace.trace import TransactionTrace
+
+SCHEDULERS: Dict[str, Callable] = {
+    "base": BaselineScheduler,
+    "strex": StrexScheduler,
+    "slicc": SliccScheduler,
+    "hybrid": HybridScheduler,
+    "smt": SmtBaselineScheduler,
+}
+
+PREFETCHERS: Dict[str, Callable] = {
+    "none": NoPrefetcher,
+    "nextline": NextLinePrefetcher,
+    "pif": PifIdealPrefetcher,
+    "tifs": TifsPrefetcher,
+}
+
+
+def simulate(
+    config: SystemConfig,
+    traces: List[TransactionTrace],
+    scheduler: str = "base",
+    workload_name: str = "",
+    prefetcher: str = "none",
+    team_size: Optional[int] = None,
+) -> RunResult:
+    """Run ``traces`` under a named scheduler and prefetcher.
+
+    Args:
+        config: the simulated system.
+        traces: transaction traces in arrival order.
+        scheduler: one of ``base``, ``strex``, ``slicc``, ``hybrid``.
+        workload_name: label recorded in the result.
+        prefetcher: one of ``none``, ``nextline``, ``pif``, ``tifs``.
+        team_size: optional STREX team-size override (Fig. 7/8 sweeps).
+
+    Returns:
+        The run's :class:`RunResult`.
+    """
+    try:
+        scheduler_cls = SCHEDULERS[scheduler]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {scheduler!r}; "
+            f"choose from {sorted(SCHEDULERS)}"
+        ) from None
+    try:
+        prefetcher_cls = PREFETCHERS[prefetcher]
+    except KeyError:
+        raise ValueError(
+            f"unknown prefetcher {prefetcher!r}; "
+            f"choose from {sorted(PREFETCHERS)}"
+        ) from None
+
+    if scheduler == "strex" and team_size is not None:
+        def scheduler_factory(engine):
+            return StrexScheduler(engine, team_size=team_size)
+    else:
+        scheduler_factory = scheduler_cls
+
+    prefetcher_factory = None
+    if prefetcher != "none":
+        prefetcher_factory = prefetcher_cls
+
+    engine = SimulationEngine(
+        config, traces, scheduler_factory, prefetcher_factory
+    )
+    result = engine.run(workload_name)
+    if prefetcher != "none":
+        result.scheduler = f"{scheduler}+{prefetcher}"
+    return result

@@ -1,0 +1,261 @@
+"""The multicore simulation engine.
+
+The engine replays a set of transaction traces over the memory hierarchy
+under a pluggable scheduler.  Cores advance independent local clocks;
+a min-heap interleaves them so that shared-L2 and coherence interactions
+happen in approximately global time order, with each visit running a
+bounded *slice* of events (scheduler-chosen, defaults to a few hundred).
+
+Timing per event (DESIGN.md, decision 4)::
+
+    cycles += ilen * base_cpi                 # pipeline throughput
+            + (ifetch_latency - l1i_hit)      # instruction stall
+            + (data_latency  - l1d_hit)       # data stall (if any)
+
+L1 hit latency is folded into the base CPI (hits are pipelined); only
+the excess over a hit stalls the core.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional
+
+from repro.cache.hierarchy import MemoryHierarchy
+from repro.config import SystemConfig
+from repro.prefetch.base import InstructionPrefetcher, NoPrefetcher
+from repro.sim.results import RunResult
+from repro.sim.thread import TxnThread
+from repro.trace.trace import TransactionTrace
+
+
+class SimulationEngine:
+    """Replays traces under a scheduler over a memory hierarchy.
+
+    Args:
+        config: the simulated system.
+        traces: transaction traces, in arrival order.
+        scheduler_factory: ``factory(engine) -> Scheduler``.
+        prefetcher_factory: optional ``factory(num_cores) -> prefetcher``.
+    """
+
+    #: Default number of events per core visit.
+    DEFAULT_SLICE_EVENTS = 384
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        traces: List[TransactionTrace],
+        scheduler_factory: Callable[["SimulationEngine"], "object"],
+        prefetcher_factory: Optional[
+            Callable[[int], InstructionPrefetcher]
+        ] = None,
+    ):
+        if not traces:
+            raise ValueError("need at least one trace")
+        self.config = config
+        prefetcher = (
+            prefetcher_factory(config.num_cores)
+            if prefetcher_factory
+            else NoPrefetcher(config.num_cores)
+        )
+        self.prefetcher_active = prefetcher.name != "none"
+        self.hier = MemoryHierarchy(config, prefetcher)
+        self.threads = [
+            TxnThread(i, trace) for i, trace in enumerate(traces)
+        ]
+        self.core_time: List[int] = [0] * config.num_cores
+        # Cycles a core spent idle-waiting (clock bumped forward to a
+        # migration's arrival time); excluded from busy-time throughput.
+        self.idle_cycles: List[int] = [0] * config.num_cores
+        self.total_instructions = 0
+        self.finished_threads = 0
+        # Set by STREX's victim callback during run_events.
+        self.switch_requested = False
+        self.scheduler = scheduler_factory(self)
+
+    # ------------------------------------------------------------------
+    # Event replay
+    # ------------------------------------------------------------------
+    def run_events(
+        self,
+        core: int,
+        thread: TxnThread,
+        max_events: int,
+        tag: int = 0,
+        stop_on_switch: bool = False,
+        miss_log: Optional[list] = None,
+        stop_after_misses: int = 0,
+    ) -> int:
+        """Replay up to ``max_events`` of ``thread`` on ``core``.
+
+        Advances ``core_time[core]``; stops early if the thread finishes
+        or (with ``stop_on_switch``) when :attr:`switch_requested` is set
+        by the L1-I victim callback.  Missed instruction blocks are
+        appended to ``miss_log`` when provided (SLICC's missed-tag
+        queue); with ``stop_after_misses`` > 0 the slice also ends once
+        that many misses accumulate in ``miss_log`` -- SLICC's burst
+        detector must fire at the *start* of a cold segment, not after a
+        whole slice has been fetched into the wrong core.
+
+        Returns:
+            The number of events executed.
+        """
+        trace = thread.trace
+        iblocks = trace.iblocks
+        ilens = trace.ilens
+        dblocks = trace.dblocks
+        dwrites = trace.dwrites
+        pos = thread.pos
+        end = min(len(iblocks), pos + max_events)
+        hier = self.hier
+        l1i = hier.l1i[core]
+        l1i_access = l1i.access
+        l1i_hit_latency = l1i.config.hit_latency
+        l1d_hit_latency = hier.l1d[core].config.hit_latency
+        access_data = hier.access_data
+        l2_access = hier._l2_access
+        prefetcher = hier.prefetcher
+        use_prefetcher = self.prefetcher_active
+        cpi = self.config.core.base_cpi
+        covered_fraction = self.config.core.covered_stall_fraction
+        cycles = 0.0
+        instructions = 0
+        start = pos
+
+        while pos < end:
+            iblock = iblocks[pos]
+            ilen = ilens[pos]
+            instructions += ilen
+            hit = l1i_access(iblock, tag)
+            cycles += ilen * cpi
+            if not hit:
+                if use_prefetcher:
+                    covered = prefetcher.covers(core, iblock)
+                    prefetcher.record(covered)
+                    prefetcher.on_fetch(core, iblock, False)
+                    latency = l2_access(core, iblock)
+                    if covered:
+                        # Prefetched, but the block still consumed L2
+                        # bandwidth (the paper's partial contention
+                        # model for PIF).
+                        cycles += latency * covered_fraction
+                    else:
+                        cycles += latency
+                else:
+                    cycles += l2_access(core, iblock)
+                if miss_log is not None:
+                    miss_log.append(iblock)
+            elif use_prefetcher:
+                prefetcher.on_fetch(core, iblock, True)
+            dblock = dblocks[pos]
+            if dblock >= 0:
+                cycles += (
+                    access_data(core, dblock, dwrites[pos])
+                    - l1d_hit_latency
+                )
+            pos += 1
+            if stop_on_switch and self.switch_requested:
+                break
+            if stop_after_misses and miss_log is not None \
+                    and len(miss_log) >= stop_after_misses:
+                break
+
+        thread.pos = pos
+        thread.instructions_done += instructions
+        self.total_instructions += instructions
+        self.core_time[core] += int(cycles)
+        return pos - start
+
+    # ------------------------------------------------------------------
+    # Thread lifecycle helpers (called by schedulers)
+    # ------------------------------------------------------------------
+    def mark_started(self, core: int, thread: TxnThread) -> None:
+        """Record a thread's first dispatch."""
+        if thread.start_time is None:
+            thread.start_time = self.core_time[core]
+
+    def mark_finished(self, core: int, thread: TxnThread) -> None:
+        """Record a thread's completion."""
+        thread.finish_time = self.core_time[core]
+        self.finished_threads += 1
+
+    def charge(self, core: int, cycles: int) -> None:
+        """Charge overhead cycles (context switch, migration) to a core."""
+        self.core_time[core] += cycles
+
+    def advance_clock(self, core: int, to_time: int) -> None:
+        """Move a core's clock forward to ``to_time`` (idle waiting for
+        an in-flight migration); the gap is recorded as idle, not busy."""
+        gap = to_time - self.core_time[core]
+        if gap > 0:
+            self.core_time[core] = to_time
+            self.idle_cycles[core] += gap
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, workload_name: str = "") -> RunResult:
+        """Run all threads to completion and collect results."""
+        scheduler = self.scheduler
+        scheduler.start()
+        heap = [
+            (self.core_time[core], core)
+            for core in range(self.config.num_cores)
+            if scheduler.has_work(core)
+        ]
+        heapq.heapify(heap)
+        self._in_heap = {core for _, core in heap}
+
+        while self.finished_threads < len(self.threads):
+            if not heap:
+                raise RuntimeError(
+                    "deadlock: unfinished threads but no runnable core"
+                )
+            _, core = heapq.heappop(heap)
+            self._in_heap.discard(core)
+            if not scheduler.has_work(core):
+                continue
+            scheduler.run_slice(core)
+            if scheduler.has_work(core):
+                self._activate(heap, core)
+            # Schedulers may have handed work to other (parked) cores.
+            for other in scheduler.drain_wakeups():
+                if scheduler.has_work(other):
+                    self._activate(heap, other)
+
+        return self._collect(workload_name)
+
+    def _activate(self, heap: list, core: int) -> None:
+        if core not in self._in_heap:
+            heapq.heappush(heap, (self.core_time[core], core))
+            self._in_heap.add(core)
+
+    def _collect(self, workload_name: str) -> RunResult:
+        latencies = [
+            t.latency for t in self.threads if t.latency is not None
+        ]
+        busy_cores = [t for t in self.core_time if t > 0]
+        cycles = max(busy_cores) if busy_cores else 0
+        return RunResult(
+            workload=workload_name,
+            scheduler=self.scheduler.name,
+            num_cores=self.config.num_cores,
+            cycles=cycles,
+            busy_cycles=sum(self.core_time) - sum(self.idle_cycles),
+            instructions=self.total_instructions,
+            i_misses=self.hier.instruction_misses(),
+            d_misses=self.hier.data_misses(),
+            transactions=len(self.threads),
+            latencies=latencies,
+            context_switches=sum(
+                t.context_switches for t in self.threads
+            ),
+            migrations=sum(t.migrations for t in self.threads),
+            coherence_misses=sum(self.hier.coherence_misses),
+            l2_misses=sum(c.stats.misses for c in self.hier.l2),
+            l2_traffic=self.hier.l2_demand_traffic,
+            extra={
+                "prefetch_coverage": self.hier.prefetcher.coverage,
+            },
+        )

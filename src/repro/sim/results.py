@@ -1,0 +1,85 @@
+"""Run results and derived metrics.
+
+The paper reports throughput as "the inverse of the number of cycles
+required to execute all transactions" (Section 5.1) and misses as MPKI.
+:class:`RunResult` captures everything a single simulation produced;
+comparisons across schedulers/core counts are plain arithmetic on these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class RunResult:
+    """Everything measured in one simulation run."""
+
+    workload: str
+    scheduler: str
+    num_cores: int
+    cycles: int
+    busy_cycles: int
+    instructions: int
+    i_misses: int
+    d_misses: int
+    transactions: int
+    latencies: List[int] = field(default_factory=list)
+    context_switches: int = 0
+    migrations: int = 0
+    coherence_misses: int = 0
+    l2_misses: int = 0
+    l2_traffic: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def i_mpki(self) -> float:
+        """L1 instruction misses per kilo-instruction."""
+        if self.instructions <= 0:
+            return 0.0
+        return 1000.0 * self.i_misses / self.instructions
+
+    @property
+    def d_mpki(self) -> float:
+        """L1 data misses per kilo-instruction."""
+        if self.instructions <= 0:
+            return 0.0
+        return 1000.0 * self.d_misses / self.instructions
+
+    @property
+    def throughput(self) -> float:
+        """Transactions per mega-cycle of mean per-core busy time.
+
+        The paper measures throughput over a continuous 1.2B-instruction
+        stream (steady state).  A finite batch leaves a scheduling tail
+        (the last team on the slowest core), so the steady-state proxy is
+        work-per-cycle: transactions divided by the mean busy time per
+        core.  The makespan is still available as :attr:`cycles`.
+        """
+        denominator = self.busy_cycles / max(1, self.num_cores)
+        if denominator <= 0:
+            return 0.0
+        return 1e6 * self.transactions / denominator
+
+    def relative_throughput(self, baseline: "RunResult") -> float:
+        """Throughput of this run normalized to ``baseline`` (Fig. 6)."""
+        if baseline.throughput <= 0:
+            return 0.0
+        return self.throughput / baseline.throughput
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean transaction latency in cycles."""
+        if not self.latencies:
+            return 0.0
+        return sum(self.latencies) / len(self.latencies)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.workload:>10} {self.scheduler:>8} "
+            f"cores={self.num_cores:<2} cycles={self.cycles:<12} "
+            f"I-MPKI={self.i_mpki:6.2f} D-MPKI={self.d_mpki:6.2f} "
+            f"thr={self.throughput:8.3f} txn/Mcyc"
+        )

@@ -1,0 +1,10 @@
+"""Block-run execution traces and trace I/O."""
+
+from repro.trace.trace import (
+    TraceBuilder,
+    TransactionTrace,
+    load_traces,
+    save_traces,
+)
+
+__all__ = ["TraceBuilder", "TransactionTrace", "load_traces", "save_traces"]

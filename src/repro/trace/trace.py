@@ -1,0 +1,173 @@
+"""Block-run execution traces.
+
+A *trace event* is one run of instructions within a single instruction
+cache block, optionally paired with one data access:
+
+    (iblock, ilen, dblock, dwrite)
+
+* ``iblock`` -- instruction block number being fetched;
+* ``ilen``   -- number of instructions executed from that block;
+* ``dblock`` -- data block number touched, or ``-1`` for none;
+* ``dwrite`` -- 1 if the data access is a store, else 0.
+
+This is the finest granularity any mechanism in the paper operates at
+(caches, STREX's phaseID tagging, SLICC's signatures and PIF all act on
+64 B blocks), which keeps pure-Python replay tractable (DESIGN.md,
+decision 1).  Events are stored as parallel Python lists -- list indexing
+is considerably faster than NumPy scalar extraction in the simulator's
+inner loop -- with NumPy views available for analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+
+class TransactionTrace:
+    """The full execution trace of one transaction."""
+
+    __slots__ = (
+        "txn_id",
+        "txn_type",
+        "iblocks",
+        "ilens",
+        "dblocks",
+        "dwrites",
+        "total_instructions",
+    )
+
+    def __init__(
+        self,
+        txn_id: int,
+        txn_type: str,
+        iblocks: List[int],
+        ilens: List[int],
+        dblocks: List[int],
+        dwrites: List[int],
+    ):
+        lengths = {len(iblocks), len(ilens), len(dblocks), len(dwrites)}
+        if len(lengths) != 1:
+            raise ValueError("trace arrays must have equal length")
+        self.txn_id = txn_id
+        self.txn_type = txn_type
+        self.iblocks = iblocks
+        self.ilens = ilens
+        self.dblocks = dblocks
+        self.dwrites = dwrites
+        self.total_instructions = sum(ilens)
+
+    def __len__(self) -> int:
+        return len(self.iblocks)
+
+    def __repr__(self) -> str:
+        return (
+            f"TransactionTrace(id={self.txn_id}, type={self.txn_type!r}, "
+            f"events={len(self)}, instructions={self.total_instructions})"
+        )
+
+    def events(self) -> Iterator[Tuple[int, int, int, int]]:
+        """Iterate over (iblock, ilen, dblock, dwrite) tuples."""
+        return zip(self.iblocks, self.ilens, self.dblocks, self.dwrites)
+
+    def unique_iblocks(self) -> set:
+        """Distinct instruction blocks touched (the static footprint)."""
+        return set(self.iblocks)
+
+    def footprint_units(self, blocks_per_unit: int) -> float:
+        """Instruction footprint in L1-I size units (Table 3's metric)."""
+        return len(self.unique_iblocks()) / blocks_per_unit
+
+    def iblock_array(self) -> np.ndarray:
+        """Instruction blocks as a NumPy array (for analysis)."""
+        return np.asarray(self.iblocks, dtype=np.int64)
+
+    def ilen_array(self) -> np.ndarray:
+        """Per-event instruction counts as a NumPy array."""
+        return np.asarray(self.ilens, dtype=np.int64)
+
+
+class TraceBuilder:
+    """Incremental construction of a :class:`TransactionTrace`."""
+
+    def __init__(self, txn_id: int, txn_type: str):
+        self.txn_id = txn_id
+        self.txn_type = txn_type
+        self._iblocks: List[int] = []
+        self._ilens: List[int] = []
+        self._dblocks: List[int] = []
+        self._dwrites: List[int] = []
+
+    def append(
+        self,
+        iblock: int,
+        ilen: int,
+        dblock: int = -1,
+        dwrite: int = 0,
+    ) -> None:
+        """Append one event."""
+        if ilen <= 0:
+            raise ValueError("ilen must be positive")
+        self._iblocks.append(iblock)
+        self._ilens.append(ilen)
+        self._dblocks.append(dblock)
+        self._dwrites.append(dwrite)
+
+    def __len__(self) -> int:
+        return len(self._iblocks)
+
+    @property
+    def last_iblock(self) -> Optional[int]:
+        """Most recently appended instruction block, if any."""
+        if not self._iblocks:
+            return None
+        return self._iblocks[-1]
+
+    def build(self) -> TransactionTrace:
+        """Finalize into an immutable-by-convention trace."""
+        if not self._iblocks:
+            raise ValueError("cannot build an empty trace")
+        return TransactionTrace(
+            self.txn_id,
+            self.txn_type,
+            self._iblocks,
+            self._ilens,
+            self._dblocks,
+            self._dwrites,
+        )
+
+
+def save_traces(path: str, traces: List[TransactionTrace]) -> None:
+    """Persist traces to an ``.npz`` archive."""
+    payload = {}
+    meta = []
+    for i, trace in enumerate(traces):
+        meta.append((trace.txn_id, trace.txn_type))
+        payload[f"i{i}"] = np.asarray(trace.iblocks, dtype=np.int64)
+        payload[f"l{i}"] = np.asarray(trace.ilens, dtype=np.int32)
+        payload[f"d{i}"] = np.asarray(trace.dblocks, dtype=np.int64)
+        payload[f"w{i}"] = np.asarray(trace.dwrites, dtype=np.int8)
+    payload["ids"] = np.asarray([m[0] for m in meta], dtype=np.int64)
+    payload["types"] = np.asarray([m[1] for m in meta])
+    np.savez_compressed(path, **payload)
+
+
+def load_traces(path: str) -> List[TransactionTrace]:
+    """Load traces previously written by :func:`save_traces`."""
+    with np.load(path, allow_pickle=False) as data:
+        ids = data["ids"]
+        types = data["types"]
+        traces = []
+        for i in range(len(ids)):
+            traces.append(
+                TransactionTrace(
+                    int(ids[i]),
+                    str(types[i]),
+                    data[f"i{i}"].tolist(),
+                    data[f"l{i}"].tolist(),
+                    data[f"d{i}"].tolist(),
+                    data[f"w{i}"].tolist(),
+                )
+            )
+    return traces

@@ -1,0 +1,15 @@
+"""Workload suites: TPC-C, TPC-E and the MapReduce control."""
+
+from repro.workloads.base import TransactionTypeSpec, TxnContext, Workload
+from repro.workloads.mapreduce import MapReduceWorkload
+from repro.workloads.tpcc import TpccWorkload
+from repro.workloads.tpce import TpceWorkload
+
+__all__ = [
+    "TransactionTypeSpec",
+    "TxnContext",
+    "Workload",
+    "MapReduceWorkload",
+    "TpccWorkload",
+    "TpceWorkload",
+]

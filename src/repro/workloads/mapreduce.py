@@ -1,0 +1,92 @@
+"""MapReduce control workload (Table 1).
+
+The paper includes CloudSuite's Hadoop/Mahout MapReduce job as a control:
+its instruction footprint *fits* in the L1-I, so STREX (and every other
+instruction-miss technique) should leave it unaffected -- context
+switches should essentially never trigger.
+
+We model one map/reduce task as a small code loop (well under one L1-I
+unit) streaming over a private slab of input data, with a short reduce
+phase that touches a small shared dictionary region.  The paper's job
+splits the input across 300 threads; the task count here is a parameter
+of the pool (the simulator schedules however many tasks the experiment
+requests).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.base import (
+    TransactionTypeSpec,
+    TxnContext,
+    Workload,
+)
+
+
+class MapReduceWorkload(Workload):
+    """Streaming map/reduce tasks with a sub-L1-I instruction footprint."""
+
+    MIX = {"MapTask": 1.0}
+    USES_TRANSACTIONS = False
+
+    #: Total instruction footprint target, in L1-I units (well under 1).
+    FOOTPRINT_UNITS = 0.55
+    #: Data blocks streamed per map task.
+    INPUT_BLOCKS_PER_TASK = 120
+    #: Loop iterations (passes over the parse/map code) per task.
+    PASSES = 6
+
+    def __init__(self, blocks_per_unit: int, seed: int = 1013):
+        super().__init__("MapReduce", blocks_per_unit, seed)
+
+    def _build_schema(self) -> None:
+        # Input corpus: a large streaming region, one slab per task,
+        # allocated lazily in _make_context; plus a small shared
+        # dictionary region for the reduce side.
+        self._dict_base = self.db.space.allocate("mr.dictionary", 64)
+
+    def _build_types(self) -> None:
+        # The whole task pipeline shares a handful of small functions.
+        share = self.FOOTPRINT_UNITS / 5.0
+        self.register(TransactionTypeSpec(
+            name="MapTask",
+            target_units=self.FOOTPRINT_UNITS,
+            wrappers={
+                "read_split": share,
+                "parse": share,
+                "map_fn": share,
+                "combine": share,
+                "emit": share,
+            },
+            basic_functions=[],
+            body=self._map_task,
+        ))
+
+    def _make_context(self, type_name: str, txn_id: int,
+                      rng: random.Random) -> TxnContext:
+        slab = self.db.space.allocate("mr.input",
+                                      self.INPUT_BLOCKS_PER_TASK)
+        return TxnContext(txn_id, {"slab": slab})
+
+    def _map_task(self, sm, ctx, rng, wrappers) -> None:
+        rec = sm.recorder
+        slab = ctx.params["slab"]
+        blocks_per_pass = self.INPUT_BLOCKS_PER_TASK // self.PASSES
+        offset = 0
+        for _ in range(self.PASSES):
+            rec.execute(wrappers["read_split"])
+            # The per-record loop: for each input block, re-run the small
+            # parse+map kernel (the tiny, hot instruction footprint).
+            for i in range(blocks_per_pass):
+                rec.execute(
+                    wrappers["parse"], [(slab + offset + i, 0)]
+                )
+                rec.execute(wrappers["map_fn"])
+            rec.execute(
+                wrappers["combine"],
+                [(self._dict_base + rng.randrange(64), 1)
+                 for _ in range(4)],
+            )
+            offset += blocks_per_pass
+        rec.execute(wrappers["emit"])

@@ -1,0 +1,432 @@
+"""TPC-C workload (Table 1: TPC-C-1 and TPC-C-10).
+
+Implements the five TPC-C transaction types over the storage-manager
+substrate, following the action flows of the paper's Fig. 1 for New Order
+and Payment and the TPC-C specification's outline for the rest.  Type
+footprints are calibrated to Table 3:
+
+    Delivery = 12, New Order = 14, Order (Status) = 11,
+    Payment = 14, Stock (Level) = 11  (L1-I size units)
+
+Action wrappers are *shared across types* where Fig. 1 shows common
+actions -- New Order and Payment both begin with index lookups on the
+Warehouse, District and Customer tables, so those actions execute the
+same code regions and the two types overlap initially before diverging
+(Section 2.1).  Most of each type's footprint is shared storage-engine
+code (basic functions), as in a real DBMS.
+
+The default mix follows the TPC-C specification's weighting, under which
+New Order + Payment are ~88% of the transactions.
+
+Scale is reduced relative to the real benchmark (fewer customers/items);
+the quantities that matter to the paper -- instruction-footprint-to-L1
+ratio and the data-sharing pattern -- are preserved (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from repro.workloads.base import (
+    TransactionTypeSpec,
+    TxnContext,
+    Workload,
+)
+
+#: Composite-key encoding strides.
+DISTRICTS_PER_WAREHOUSE = 10
+
+#: Size of each shared action wrapper, in L1-I units.
+ACTION_UNITS = 0.70
+
+#: Shared executor glue (cursor management, result marshalling) that
+#: every transaction type runs.
+EXEC_GLUE_UNITS = 0.80
+
+#: All TPC-C wrapper regions: label -> units.  Labels shared by several
+#: types map to the same code region.
+WRAPPERS: Dict[str, float] = {
+    "exec_glue": EXEC_GLUE_UNITS,
+    # Fig. 1 common prefix of New Order and Payment.
+    "R_WAREHOUSE": ACTION_UNITS,
+    "R_DISTRICT": ACTION_UNITS,
+    "R_CUSTOMER": ACTION_UNITS,
+    "U_DISTRICT": ACTION_UNITS,
+    # New Order specific actions.
+    "I_ORDER": ACTION_UNITS,
+    "I_NEWORDER": ACTION_UNITS,
+    "R_ITEM": ACTION_UNITS,
+    "R_STOCK": ACTION_UNITS,
+    "U_STOCK": ACTION_UNITS,
+    "I_ORDERLINE": ACTION_UNITS,
+    # Payment specific actions.  The customer is located either by last
+    # name (IT over the name index) or by id (direct probe); the two
+    # branches are alternative code paths of similar size, so instances
+    # stay positionally aligned whichever branch they take.
+    "U_WAREHOUSE": ACTION_UNITS,
+    "IT_CUSTOMER": ACTION_UNITS,
+    "R_CUSTOMER_BYID": ACTION_UNITS,
+    "U_CUSTOMER": ACTION_UNITS,
+    "I_HISTORY": ACTION_UNITS,
+    # Delivery / Order Status / Stock Level actions.
+    "IT_NEWORDER": ACTION_UNITS,
+    "U_ORDER": ACTION_UNITS,
+    "IT_ORDERLINE": ACTION_UNITS,
+    "SUM_LINES": ACTION_UNITS,
+    "R_ORDER": ACTION_UNITS,
+    # Type-private logic sized to land each type on its Table 3 value.
+    "pay_misc": 0.70,
+    "dlv_misc": 1.90,
+    "os_misc": 2.50,
+    "sl_misc": 2.60,
+}
+
+#: Basic functions used by the read-write types (New Order, Payment).
+RW_FUNCS = [
+    "sm.txn_begin", "sm.txn_commit", "sm.catalog",
+    "sm.lock_acquire", "sm.lock_release", "sm.log_write",
+    "sm.bufpool_fix", "sm.btree_traverse", "sm.rec_read",
+    "sm.rec_update", "sm.rec_insert", "sm.btree_insert",
+]
+
+#: Basic functions used by read-mostly types.
+RO_FUNCS = [
+    "sm.txn_begin", "sm.txn_commit", "sm.catalog",
+    "sm.lock_acquire", "sm.lock_release", "sm.log_write",
+    "sm.bufpool_fix", "sm.btree_traverse", "sm.rec_read",
+    "sm.index_scan",
+]
+
+
+def _subset(*names: str) -> Dict[str, float]:
+    return {name: WRAPPERS[name] for name in names}
+
+
+def warehouse_key(w: int) -> int:
+    """Primary key of a warehouse."""
+    return w
+
+
+def district_key(w: int, d: int) -> int:
+    """Primary key of a district."""
+    return w * 100 + d
+
+
+def customer_key(w: int, d: int, c: int) -> int:
+    """Primary key of a customer."""
+    return (w * 100 + d) * 100_000 + c
+
+
+def order_key(w: int, d: int, o: int) -> int:
+    """Primary key of an order (also used for NEW_ORDER rows)."""
+    return (w * 100 + d) * 1_000_000 + o
+
+
+def order_line_key(w: int, d: int, o: int, line: int) -> int:
+    """Primary key of an order line."""
+    return order_key(w, d, o) * 100 + line
+
+
+def stock_key(w: int, i: int) -> int:
+    """Primary key of a stock row."""
+    return w * 1_000_000 + i
+
+
+class TpccWorkload(Workload):
+    """TPC-C over the mini storage manager.
+
+    Args:
+        blocks_per_unit: L1-I blocks per footprint unit.
+        warehouses: scale factor (1 for TPC-C-1, 10 for TPC-C-10).
+        customers_per_district: scaled-down customer population.
+        items: scaled-down item catalogue size.
+        seed: master RNG seed.
+    """
+
+    MIX: Dict[str, float] = {
+        "NewOrder": 0.45,
+        "Payment": 0.43,
+        "OrderStatus": 0.04,
+        "Delivery": 0.04,
+        "StockLevel": 0.04,
+    }
+
+    #: Scaled-down New Order line-count range (spec: 5..15).
+    OL_CNT_RANGE = (3, 8)
+    #: Districts processed per Delivery (spec: 10).
+    DELIVERY_DISTRICTS = 4
+
+    def __init__(self, blocks_per_unit: int, warehouses: int = 1,
+                 customers_per_district: int = 300, items: int = 2000,
+                 seed: int = 1013):
+        if warehouses <= 0:
+            raise ValueError("warehouses must be positive")
+        self.warehouses = warehouses
+        self.customers_per_district = customers_per_district
+        self.items = items
+        self._next_order: Dict[int, int] = {}
+        name = f"TPC-C-{warehouses}"
+        super().__init__(name, blocks_per_unit, seed)
+
+    # ------------------------------------------------------------------
+    # Schema population
+    # ------------------------------------------------------------------
+    def _build_schema(self) -> None:
+        db = self.db
+        warehouse = db.create_table("WAREHOUSE", span_blocks=2)
+        district = db.create_table("DISTRICT", span_blocks=2)
+        customer = db.create_table("CUSTOMER", records_per_page=4,
+                                   span_blocks=4)
+        item = db.create_table("ITEM", records_per_page=8)
+        stock = db.create_table("STOCK", records_per_page=4,
+                                span_blocks=3)
+        db.create_table("ORDERS", records_per_page=4, span_blocks=2)
+        db.create_table("NEW_ORDER", records_per_page=8)
+        db.create_table("ORDER_LINE", records_per_page=4)
+        db.create_table("HISTORY", records_per_page=8)
+
+        for w in range(self.warehouses):
+            warehouse.insert(warehouse_key(w),
+                             {"w_id": w, "ytd": 0.0, "tax": 0.05})
+            for d in range(DISTRICTS_PER_WAREHOUSE):
+                district.insert(
+                    district_key(w, d),
+                    {"d_id": d, "w_id": w, "ytd": 0.0, "next_o_id": 0},
+                )
+                self._next_order[district_key(w, d)] = 0
+                for c in range(self.customers_per_district):
+                    customer.insert(
+                        customer_key(w, d, c),
+                        {"c_id": c, "balance": 0.0, "payments": 0,
+                         "deliveries": 0},
+                    )
+            for i in range(self.items):
+                stock.insert(stock_key(w, i),
+                             {"i_id": i, "quantity": 50, "ytd": 0})
+        for i in range(self.items):
+            item.insert(i, {"i_id": i, "price": 1.0 + (i % 100) / 10.0})
+
+    # ------------------------------------------------------------------
+    # Transaction types
+    # ------------------------------------------------------------------
+    def _build_types(self) -> None:
+        self.register(TransactionTypeSpec(
+            name="NewOrder",
+            target_units=14.0,
+            wrappers=_subset(
+                "exec_glue", "R_WAREHOUSE", "R_DISTRICT", "R_CUSTOMER",
+                "U_DISTRICT", "I_ORDER", "I_NEWORDER", "R_ITEM",
+                "R_STOCK", "U_STOCK", "I_ORDERLINE",
+            ),
+            basic_functions=RW_FUNCS,
+            body=self._new_order,
+        ))
+        self.register(TransactionTypeSpec(
+            name="Payment",
+            target_units=14.0,
+            wrappers=_subset(
+                "exec_glue", "R_WAREHOUSE", "U_WAREHOUSE", "R_DISTRICT",
+                "U_DISTRICT", "IT_CUSTOMER", "R_CUSTOMER_BYID",
+                "R_CUSTOMER", "U_CUSTOMER", "I_HISTORY", "pay_misc",
+            ),
+            basic_functions=RW_FUNCS + ["sm.index_scan"],
+            body=self._payment,
+        ))
+        self.register(TransactionTypeSpec(
+            name="OrderStatus",
+            target_units=11.0,
+            wrappers=_subset(
+                "exec_glue", "IT_CUSTOMER", "R_CUSTOMER", "R_ORDER",
+                "IT_ORDERLINE", "os_misc",
+            ),
+            basic_functions=RO_FUNCS,
+            body=self._order_status,
+        ))
+        self.register(TransactionTypeSpec(
+            name="Delivery",
+            target_units=12.0,
+            wrappers=_subset(
+                "exec_glue", "IT_NEWORDER", "U_ORDER", "IT_ORDERLINE",
+                "SUM_LINES", "U_CUSTOMER", "dlv_misc",
+            ),
+            basic_functions=RO_FUNCS + ["sm.rec_update"],
+            body=self._delivery,
+        ))
+        self.register(TransactionTypeSpec(
+            name="StockLevel",
+            target_units=11.0,
+            wrappers=_subset(
+                "exec_glue", "R_DISTRICT", "IT_ORDERLINE", "R_STOCK",
+                "sl_misc",
+            ),
+            basic_functions=RO_FUNCS,
+            body=self._stock_level,
+        ))
+
+    def _make_context(self, type_name: str, txn_id: int,
+                      rng: random.Random) -> TxnContext:
+        w = rng.randrange(self.warehouses)
+        d = rng.randrange(DISTRICTS_PER_WAREHOUSE)
+        c = rng.randrange(self.customers_per_district)
+        params: Dict[str, object] = {"w": w, "d": d, "c": c}
+        if type_name == "NewOrder":
+            ol_cnt = rng.randint(*self.OL_CNT_RANGE)
+            params["ol_cnt"] = ol_cnt
+            params["items"] = [rng.randrange(self.items)
+                               for _ in range(ol_cnt)]
+        elif type_name == "Payment":
+            params["by_name"] = rng.random() < 0.6
+            params["amount"] = round(1.0 + rng.random() * 4999.0, 2)
+        return TxnContext(txn_id, params)
+
+    # -- New Order (Fig. 1, left) ---------------------------------------
+    def _new_order(self, sm, ctx, rng, wrappers) -> None:
+        w = ctx.params["w"]
+        d = ctx.params["d"]
+        c = ctx.params["c"]
+        rec = sm.recorder
+        rec.execute(wrappers["exec_glue"])
+        rec.execute(wrappers["R_WAREHOUSE"])
+        sm.index_lookup("WAREHOUSE", warehouse_key(w))
+        rec.execute(wrappers["R_DISTRICT"])
+        district = sm.index_lookup("DISTRICT", district_key(w, d),
+                                   for_update=True)
+        rec.execute(wrappers["R_CUSTOMER"])
+        sm.index_lookup("CUSTOMER", customer_key(w, d, c))
+        rec.execute(wrappers["U_DISTRICT"])
+        o_id = self._next_order[district_key(w, d)]
+        self._next_order[district_key(w, d)] = o_id + 1
+        next_o_id = (district["next_o_id"] if district else o_id) + 1
+        sm.tuple_update("DISTRICT", district_key(w, d),
+                        {"next_o_id": next_o_id})
+        rec.execute(wrappers["I_ORDER"])
+        sm.tuple_insert("ORDERS", order_key(w, d, o_id),
+                        {"o_id": o_id, "c_id": c, "carrier": None,
+                         "ol_cnt": ctx.params["ol_cnt"]})
+        rec.execute(wrappers["I_NEWORDER"])
+        sm.tuple_insert("NEW_ORDER", order_key(w, d, o_id),
+                        {"o_id": o_id})
+        for line, i_id in enumerate(ctx.params["items"]):
+            rec.execute(wrappers["R_ITEM"])
+            item = sm.index_lookup("ITEM", i_id)
+            rec.execute(wrappers["R_STOCK"])
+            stock = sm.index_lookup("STOCK", stock_key(w, i_id),
+                                    for_update=True)
+            rec.execute(wrappers["U_STOCK"])
+            quantity = stock["quantity"] if stock else 50
+            new_quantity = quantity - 5 if quantity > 14 else quantity + 86
+            sm.tuple_update("STOCK", stock_key(w, i_id),
+                            {"quantity": new_quantity})
+            rec.execute(wrappers["I_ORDERLINE"])
+            price = item["price"] if item else 1.0
+            sm.tuple_insert("ORDER_LINE",
+                            order_line_key(w, d, o_id, line),
+                            {"o_id": o_id, "i_id": i_id, "price": price})
+
+    # -- Payment (Fig. 1, right) ----------------------------------------
+    def _payment(self, sm, ctx, rng, wrappers) -> None:
+        w = ctx.params["w"]
+        d = ctx.params["d"]
+        c = ctx.params["c"]
+        amount = ctx.params["amount"]
+        rec = sm.recorder
+        rec.execute(wrappers["exec_glue"])
+        rec.execute(wrappers["R_WAREHOUSE"])
+        sm.index_lookup("WAREHOUSE", warehouse_key(w), for_update=True)
+        rec.execute(wrappers["U_WAREHOUSE"])
+        sm.tuple_update("WAREHOUSE", warehouse_key(w), {"ytd": amount})
+        rec.execute(wrappers["R_DISTRICT"])
+        sm.index_lookup("DISTRICT", district_key(w, d), for_update=True)
+        rec.execute(wrappers["U_DISTRICT"])
+        sm.tuple_update("DISTRICT", district_key(w, d), {"ytd": amount})
+        if ctx.params["by_name"]:
+            # IT(CUST): locate the customer by last name (Fig. 1's
+            # conditional index scan).
+            rec.execute(wrappers["IT_CUSTOMER"])
+            base = customer_key(w, d, max(0, c - 2))
+            sm.index_scan("CUSTOMER", base, customer_key(w, d, c),
+                          limit=4)
+        else:
+            # The by-id path: key-derivation executor code of similar
+            # size; the actual probe is the R(CUSTOMER) action below.
+            rec.execute(wrappers["R_CUSTOMER_BYID"])
+            sm.index_scan("CUSTOMER", customer_key(w, d, c),
+                          customer_key(w, d, c), limit=1)
+        rec.execute(wrappers["R_CUSTOMER"])
+        customer = sm.index_lookup("CUSTOMER", customer_key(w, d, c),
+                                   for_update=True)
+        rec.execute(wrappers["U_CUSTOMER"])
+        balance = (customer["balance"] if customer else 0.0) - amount
+        sm.tuple_update("CUSTOMER", customer_key(w, d, c),
+                        {"balance": balance})
+        rec.execute(wrappers["I_HISTORY"])
+        sm.tuple_insert("HISTORY", ctx.txn_id,
+                        {"c_id": c, "amount": amount})
+        rec.execute(wrappers["pay_misc"])
+
+    # -- Order Status -----------------------------------------------------
+    def _order_status(self, sm, ctx, rng, wrappers) -> None:
+        w = ctx.params["w"]
+        d = ctx.params["d"]
+        c = ctx.params["c"]
+        rec = sm.recorder
+        rec.execute(wrappers["exec_glue"])
+        rec.execute(wrappers["IT_CUSTOMER"])
+        sm.index_scan("CUSTOMER", customer_key(w, d, max(0, c - 1)),
+                      customer_key(w, d, c), limit=3)
+        rec.execute(wrappers["R_CUSTOMER"])
+        sm.index_lookup("CUSTOMER", customer_key(w, d, c))
+        rec.execute(wrappers["R_ORDER"])
+        last = max(0, self._next_order.get(district_key(w, d), 1) - 1)
+        sm.index_lookup("ORDERS", order_key(w, d, last))
+        rec.execute(wrappers["IT_ORDERLINE"])
+        sm.index_scan("ORDER_LINE", order_line_key(w, d, last, 0),
+                      order_line_key(w, d, last, 99), limit=8)
+        rec.execute(wrappers["os_misc"])
+
+    # -- Delivery ---------------------------------------------------------
+    def _delivery(self, sm, ctx, rng, wrappers) -> None:
+        w = ctx.params["w"]
+        rec = sm.recorder
+        rec.execute(wrappers["exec_glue"])
+        for d in range(self.DELIVERY_DISTRICTS):
+            rec.execute(wrappers["IT_NEWORDER"])
+            last = max(0, self._next_order.get(district_key(w, d), 1) - 1)
+            found = sm.index_scan("NEW_ORDER", order_key(w, d, 0),
+                                  order_key(w, d, last), limit=1)
+            if found:
+                # The oldest undelivered order leaves NEW_ORDER.
+                sm.tuple_delete("NEW_ORDER",
+                                order_key(w, d, found[0]["o_id"]))
+            rec.execute(wrappers["U_ORDER"])
+            sm.tuple_update("ORDERS", order_key(w, d, last),
+                            {"carrier": 7})
+            rec.execute(wrappers["IT_ORDERLINE"])
+            sm.index_scan("ORDER_LINE", order_line_key(w, d, last, 0),
+                          order_line_key(w, d, last, 99), limit=8)
+            rec.execute(wrappers["SUM_LINES"])
+            rec.execute(wrappers["U_CUSTOMER"])
+            c = rng.randrange(self.customers_per_district)
+            sm.tuple_update("CUSTOMER", customer_key(w, d, c),
+                            {"deliveries": 1})
+        rec.execute(wrappers["dlv_misc"])
+
+    # -- Stock Level --------------------------------------------------------
+    def _stock_level(self, sm, ctx, rng, wrappers) -> None:
+        w = ctx.params["w"]
+        d = ctx.params["d"]
+        rec = sm.recorder
+        rec.execute(wrappers["exec_glue"])
+        rec.execute(wrappers["R_DISTRICT"])
+        sm.index_lookup("DISTRICT", district_key(w, d))
+        rec.execute(wrappers["IT_ORDERLINE"])
+        last = max(0, self._next_order.get(district_key(w, d), 1) - 1)
+        lo = max(0, last - 5)
+        sm.index_scan("ORDER_LINE", order_line_key(w, d, lo, 0),
+                      order_line_key(w, d, last, 99), limit=12)
+        rec.execute(wrappers["R_STOCK"])
+        for _ in range(4):
+            i_id = rng.randrange(self.items)
+            sm.index_lookup("STOCK", stock_key(w, i_id))
+        rec.execute(wrappers["sl_misc"])

@@ -1,0 +1,324 @@
+"""TPC-E workload (Table 1: brokerage house).
+
+Implements the seven TPC-E transaction types the paper evaluates
+(Fig. 4 / Table 3): Broker Volume, Customer Position, Market Watch,
+Security Detail, Trade Status, Trade Update, Trade Lookup, over a
+brokerage schema (customers, accounts, brokers, securities, trades,
+holdings).  Footprints are calibrated to Table 3:
+
+    Broker = 7, Customer = 9, Market = 9, Security = 5,
+    Tr_Stat = 9, Tr_Upd = 8, Tr_Look = 8  (L1-I size units)
+
+As in TPC-C, action wrappers are shared across types where the flows
+call the same statements (the three Trade_* transactions all locate
+trades through the same ``FIND_TRADES`` path, etc.), so cross-type code
+overlap is substantial while each type keeps its Table 3 footprint.
+
+The type mix approximates the TPC-E specification's read-heavy profile.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from repro.workloads.base import (
+    TransactionTypeSpec,
+    TxnContext,
+    Workload,
+)
+
+#: Shared action-wrapper sizes, in L1-I units.
+WRAPPERS: Dict[str, float] = {
+    "exec_glue": 0.60,
+    "R_CUSTOMER": 0.40,
+    "R_ACCOUNT": 0.40,
+    "R_BROKER": 0.40,
+    "R_SECURITY": 0.30,
+    "R_TRADE": 0.40,
+    "IT_HOLDING": 0.45,
+    "IT_TRADE": 0.45,
+    "FIND_TRADES": 0.50,
+    "PRICE_ASSETS": 0.45,
+    "U_TRADE": 0.45,
+    "U_BROKER": 0.40,
+    # Type-private logic, sized to land on Table 3.
+    "bv_misc": 0.30,
+    "cp_misc": 1.45,
+    "mw_misc": 1.85,
+    "sd_misc": 0.30,
+    "ts_misc": 1.45,
+    "tu_misc": 0.10,
+    "tl_misc": 1.25,
+}
+
+#: Basic functions for the read-only TPC-E paths.
+RO_FUNCS = [
+    "sm.txn_begin", "sm.txn_commit", "sm.catalog",
+    "sm.lock_acquire", "sm.lock_release", "sm.log_write",
+    "sm.bufpool_fix", "sm.btree_traverse", "sm.rec_read",
+]
+
+#: Read-only paths that also range-scan.
+RO_SCAN_FUNCS = RO_FUNCS + ["sm.index_scan"]
+
+#: The read-write path (Trade Update).
+RW_FUNCS = RO_SCAN_FUNCS + ["sm.rec_update"]
+
+
+def _subset(*names: str) -> Dict[str, float]:
+    return {name: WRAPPERS[name] for name in names}
+
+
+def account_key(c: int, a: int) -> int:
+    """Primary key of a customer account."""
+    return c * 10 + a
+
+
+def holding_key(c: int, a: int, s: int) -> int:
+    """Primary key of a holding row."""
+    return account_key(c, a) * 10_000 + s
+
+
+def trade_key(t: int) -> int:
+    """Primary key of a trade row."""
+    return t
+
+
+class TpceWorkload(Workload):
+    """TPC-E over the mini storage manager.
+
+    Args:
+        blocks_per_unit: L1-I blocks per footprint unit.
+        customers: scaled-down customer count (spec: 1000).
+        securities: scaled-down security count.
+        trades: pre-loaded trade history size.
+        brokers: broker count.
+        seed: master RNG seed.
+    """
+
+    MIX: Dict[str, float] = {
+        "BrokerVolume": 0.05,
+        "CustomerPosition": 0.13,
+        "MarketWatch": 0.18,
+        "SecurityDetail": 0.14,
+        "TradeStatus": 0.19,
+        "TradeUpdate": 0.12,
+        "TradeLookup": 0.19,
+    }
+
+    ACCOUNTS_PER_CUSTOMER = 2
+    HOLDINGS_PER_ACCOUNT = 4
+
+    def __init__(self, blocks_per_unit: int, customers: int = 300,
+                 securities: int = 500, trades: int = 3000,
+                 brokers: int = 20, seed: int = 1013):
+        self.customers = customers
+        self.securities = securities
+        self.trades = trades
+        self.brokers = brokers
+        super().__init__("TPC-E", blocks_per_unit, seed)
+
+    # ------------------------------------------------------------------
+    # Schema population
+    # ------------------------------------------------------------------
+    def _build_schema(self) -> None:
+        db = self.db
+        customer = db.create_table("CUSTOMER", records_per_page=4,
+                                   span_blocks=3)
+        account = db.create_table("ACCOUNT", records_per_page=4,
+                                  span_blocks=2)
+        broker = db.create_table("BROKER", span_blocks=2)
+        security = db.create_table("SECURITY", records_per_page=4,
+                                   span_blocks=2)
+        trade = db.create_table("TRADE", records_per_page=4,
+                                span_blocks=2)
+        holding = db.create_table("HOLDING", records_per_page=4)
+        rng = random.Random(7)
+
+        for b in range(self.brokers):
+            broker.insert(b, {"b_id": b, "volume": 0.0, "num_trades": 0})
+        for s in range(self.securities):
+            security.insert(s, {"s_id": s, "price": 10.0 + s % 90,
+                                "volume": 0})
+        for c in range(self.customers):
+            customer.insert(c, {"c_id": c, "tier": 1 + c % 3})
+            for a in range(self.ACCOUNTS_PER_CUSTOMER):
+                account.insert(
+                    account_key(c, a),
+                    {"c_id": c, "broker": rng.randrange(self.brokers),
+                     "balance": 10_000.0},
+                )
+                for _ in range(self.HOLDINGS_PER_ACCOUNT):
+                    s = rng.randrange(self.securities)
+                    holding.insert(holding_key(c, a, s),
+                                   {"s_id": s, "qty": 100})
+        for t in range(self.trades):
+            trade.insert(
+                trade_key(t),
+                {"t_id": t, "c_id": rng.randrange(self.customers),
+                 "s_id": rng.randrange(self.securities),
+                 "status": "CMPT", "qty": 10 * (1 + t % 10)},
+            )
+
+    # ------------------------------------------------------------------
+    # Transaction types
+    # ------------------------------------------------------------------
+    def _build_types(self) -> None:
+        self.register(TransactionTypeSpec(
+            name="BrokerVolume",
+            target_units=7.0,
+            wrappers=_subset("exec_glue", "R_BROKER", "IT_TRADE",
+                             "bv_misc"),
+            basic_functions=RO_SCAN_FUNCS,
+            body=self._broker_volume,
+        ))
+        self.register(TransactionTypeSpec(
+            name="CustomerPosition",
+            target_units=9.0,
+            wrappers=_subset("exec_glue", "R_CUSTOMER", "R_ACCOUNT",
+                             "IT_HOLDING", "PRICE_ASSETS", "cp_misc"),
+            basic_functions=RO_SCAN_FUNCS,
+            body=self._customer_position,
+        ))
+        self.register(TransactionTypeSpec(
+            name="MarketWatch",
+            target_units=9.0,
+            wrappers=_subset("exec_glue", "R_CUSTOMER", "IT_HOLDING",
+                             "PRICE_ASSETS", "mw_misc"),
+            basic_functions=RO_SCAN_FUNCS,
+            body=self._market_watch,
+        ))
+        self.register(TransactionTypeSpec(
+            name="SecurityDetail",
+            target_units=5.0,
+            wrappers=_subset("R_SECURITY", "sd_misc"),
+            basic_functions=RO_FUNCS,
+            body=self._security_detail,
+        ))
+        self.register(TransactionTypeSpec(
+            name="TradeStatus",
+            target_units=9.0,
+            wrappers=_subset("exec_glue", "R_ACCOUNT", "FIND_TRADES",
+                             "R_TRADE", "ts_misc"),
+            basic_functions=RO_SCAN_FUNCS,
+            body=self._trade_status,
+        ))
+        self.register(TransactionTypeSpec(
+            name="TradeUpdate",
+            target_units=8.0,
+            wrappers=_subset("exec_glue", "FIND_TRADES", "U_TRADE",
+                             "U_BROKER", "tu_misc"),
+            basic_functions=RW_FUNCS,
+            body=self._trade_update,
+        ))
+        self.register(TransactionTypeSpec(
+            name="TradeLookup",
+            target_units=8.0,
+            wrappers=_subset("exec_glue", "FIND_TRADES", "R_TRADE",
+                             "tl_misc"),
+            basic_functions=RO_SCAN_FUNCS,
+            body=self._trade_lookup,
+        ))
+
+    def _make_context(self, type_name: str, txn_id: int,
+                      rng: random.Random) -> TxnContext:
+        return TxnContext(txn_id, {
+            "c": rng.randrange(self.customers),
+            "a": rng.randrange(self.ACCOUNTS_PER_CUSTOMER),
+            "s": rng.randrange(self.securities),
+            "b": rng.randrange(self.brokers),
+            "t": rng.randrange(self.trades),
+            "n": rng.randint(2, 5),
+        })
+
+    # -- bodies -----------------------------------------------------------
+    def _broker_volume(self, sm, ctx, rng, wrappers) -> None:
+        rec = sm.recorder
+        rec.execute(wrappers["exec_glue"])
+        base = ctx.params["b"]
+        rec.execute(wrappers["R_BROKER"])
+        for offset in range(ctx.params["n"]):
+            sm.index_lookup("BROKER", (base + offset) % self.brokers)
+        rec.execute(wrappers["IT_TRADE"])
+        t = ctx.params["t"]
+        sm.index_scan("TRADE", max(0, t - 6), t, limit=6)
+        rec.execute(wrappers["bv_misc"])
+
+    def _customer_position(self, sm, ctx, rng, wrappers) -> None:
+        c = ctx.params["c"]
+        rec = sm.recorder
+        rec.execute(wrappers["exec_glue"])
+        rec.execute(wrappers["R_CUSTOMER"])
+        sm.index_lookup("CUSTOMER", c)
+        rec.execute(wrappers["R_ACCOUNT"])
+        sm.index_lookup("ACCOUNT", account_key(c, ctx.params["a"]))
+        rec.execute(wrappers["IT_HOLDING"])
+        sm.index_scan("HOLDING", holding_key(c, 0, 0),
+                      holding_key(c, self.ACCOUNTS_PER_CUSTOMER, 0),
+                      limit=8)
+        rec.execute(wrappers["PRICE_ASSETS"])
+        for _ in range(3):
+            sm.index_lookup("SECURITY", rng.randrange(self.securities))
+        rec.execute(wrappers["cp_misc"])
+
+    def _market_watch(self, sm, ctx, rng, wrappers) -> None:
+        c = ctx.params["c"]
+        rec = sm.recorder
+        rec.execute(wrappers["exec_glue"])
+        rec.execute(wrappers["R_CUSTOMER"])
+        sm.index_lookup("CUSTOMER", c)
+        rec.execute(wrappers["IT_HOLDING"])
+        sm.index_scan("HOLDING", holding_key(c, 0, 0),
+                      holding_key(c, self.ACCOUNTS_PER_CUSTOMER, 0),
+                      limit=6)
+        rec.execute(wrappers["PRICE_ASSETS"])
+        for _ in range(ctx.params["n"]):
+            sm.index_lookup("SECURITY", rng.randrange(self.securities))
+        rec.execute(wrappers["mw_misc"])
+
+    def _security_detail(self, sm, ctx, rng, wrappers) -> None:
+        rec = sm.recorder
+        rec.execute(wrappers["R_SECURITY"])
+        sm.index_lookup("SECURITY", ctx.params["s"])
+        sm.index_lookup("SECURITY", (ctx.params["s"] + 1)
+                        % self.securities)
+        rec.execute(wrappers["sd_misc"])
+
+    def _trade_status(self, sm, ctx, rng, wrappers) -> None:
+        c = ctx.params["c"]
+        rec = sm.recorder
+        rec.execute(wrappers["exec_glue"])
+        rec.execute(wrappers["R_ACCOUNT"])
+        sm.index_lookup("ACCOUNT", account_key(c, ctx.params["a"]))
+        rec.execute(wrappers["FIND_TRADES"])
+        t = ctx.params["t"]
+        sm.index_scan("TRADE", max(0, t - 10), t, limit=8)
+        rec.execute(wrappers["R_TRADE"])
+        sm.index_lookup("TRADE", t)
+        rec.execute(wrappers["ts_misc"])
+
+    def _trade_update(self, sm, ctx, rng, wrappers) -> None:
+        rec = sm.recorder
+        rec.execute(wrappers["exec_glue"])
+        rec.execute(wrappers["FIND_TRADES"])
+        t = ctx.params["t"]
+        sm.index_scan("TRADE", max(0, t - 4), t, limit=4)
+        for offset in range(ctx.params["n"]):
+            rec.execute(wrappers["U_TRADE"])
+            sm.tuple_update("TRADE", (t + offset) % self.trades,
+                            {"status": "UPDT"})
+        rec.execute(wrappers["U_BROKER"])
+        sm.tuple_update("BROKER", ctx.params["b"], {"num_trades": 1})
+        rec.execute(wrappers["tu_misc"])
+
+    def _trade_lookup(self, sm, ctx, rng, wrappers) -> None:
+        rec = sm.recorder
+        rec.execute(wrappers["exec_glue"])
+        rec.execute(wrappers["FIND_TRADES"])
+        t = ctx.params["t"]
+        sm.index_scan("TRADE", max(0, t - 8), t, limit=6)
+        for offset in range(ctx.params["n"]):
+            rec.execute(wrappers["R_TRADE"])
+            sm.index_lookup("TRADE", (t + offset) % self.trades)
+        rec.execute(wrappers["tl_misc"])

@@ -1,0 +1,67 @@
+"""Shared fixtures for the test suite.
+
+Tests run on the ``tiny_scale`` system (2 KiB L1s, 32 blocks) with small
+workload populations so that trace generation and simulation stay fast;
+behaviour relative to the cache is what matters, and all footprints are
+defined in L1-size units.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.config import SystemConfig, default_scale, tiny_scale
+from repro.workloads.mapreduce import MapReduceWorkload
+from repro.workloads.tpcc import TpccWorkload
+from repro.workloads.tpce import TpceWorkload
+
+
+@pytest.fixture
+def tiny_config() -> SystemConfig:
+    """A 2-core, 2 KiB-L1 system."""
+    return tiny_scale(num_cores=2)
+
+
+@pytest.fixture
+def quad_config() -> SystemConfig:
+    """A 4-core, 2 KiB-L1 system."""
+    return tiny_scale(num_cores=4)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG."""
+    return random.Random(42)
+
+
+@pytest.fixture(scope="session")
+def tiny_tpcc() -> TpccWorkload:
+    """A small TPC-C instance shared across the session (read-mostly:
+    tests that need isolated state build their own)."""
+    blocks = tiny_scale().l1i_blocks
+    return TpccWorkload(blocks, warehouses=1, customers_per_district=30,
+                        items=100, seed=99)
+
+
+@pytest.fixture(scope="session")
+def tiny_tpce() -> TpceWorkload:
+    """A small TPC-E instance shared across the session."""
+    blocks = tiny_scale().l1i_blocks
+    return TpceWorkload(blocks, customers=40, securities=60, trades=200,
+                        brokers=8, seed=99)
+
+
+@pytest.fixture(scope="session")
+def tiny_mapreduce() -> MapReduceWorkload:
+    """A small MapReduce instance shared across the session."""
+    blocks = tiny_scale().l1i_blocks
+    return MapReduceWorkload(blocks, seed=99)
+
+
+@pytest.fixture(scope="session")
+def default_tpcc() -> TpccWorkload:
+    """A default-scale TPC-C instance (for calibration tests)."""
+    blocks = default_scale().l1i_blocks
+    return TpccWorkload(blocks, seed=99)

@@ -1,0 +1,207 @@
+"""Tests for repro.db.btree."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.btree import BTreeIndex
+from repro.db.storage import DataSpace
+
+
+def make_tree(order=4):
+    return BTreeIndex("t", DataSpace(), order=order)
+
+
+class TestBasics:
+    def test_empty_lookup(self):
+        assert make_tree().lookup(1) is None
+
+    def test_insert_and_lookup(self):
+        tree = make_tree()
+        tree.insert(5, 50)
+        assert tree.lookup(5) == 50
+
+    def test_overwrite_does_not_grow(self):
+        tree = make_tree()
+        tree.insert(5, 50)
+        tree.insert(5, 51)
+        assert tree.lookup(5) == 51
+        assert tree.size == 1
+
+    def test_rejects_tiny_order(self):
+        with pytest.raises(ValueError):
+            make_tree(order=2)
+
+    def test_many_inserts_sorted_items(self):
+        tree = make_tree()
+        keys = list(range(100))
+        random.Random(3).shuffle(keys)
+        for key in keys:
+            tree.insert(key, key * 10)
+        assert [k for k, _ in tree.items()] == sorted(range(100))
+
+    def test_height_grows(self):
+        tree = make_tree(order=4)
+        assert tree.height() == 1
+        for key in range(50):
+            tree.insert(key, key)
+        assert tree.height() >= 3
+
+    def test_traverse_path_length_matches_height(self):
+        tree = make_tree(order=4)
+        for key in range(100):
+            tree.insert(key, key)
+        _, path = tree.traverse(50)
+        assert len(path) == tree.height()
+
+    def test_traverse_returns_distinct_blocks(self):
+        tree = make_tree(order=4)
+        for key in range(100):
+            tree.insert(key, key)
+        _, path = tree.traverse(7)
+        assert len(set(path)) == len(path)
+
+
+class TestScan:
+    def test_scan_range(self):
+        tree = make_tree()
+        for key in range(50):
+            tree.insert(key, key * 2)
+        values, blocks = tree.scan(10, 19)
+        assert values == [k * 2 for k in range(10, 20)]
+        assert blocks
+
+    def test_scan_empty_range(self):
+        tree = make_tree()
+        for key in range(0, 50, 10):
+            tree.insert(key, key)
+        values, _ = tree.scan(41, 49)
+        assert values == []
+
+    def test_scan_whole_tree(self):
+        tree = make_tree()
+        for key in range(30):
+            tree.insert(key, key)
+        values, _ = tree.scan(0, 29)
+        assert values == list(range(30))
+
+    def test_scan_crosses_leaves(self):
+        tree = make_tree(order=4)
+        for key in range(40):
+            tree.insert(key, key)
+        values, blocks = tree.scan(0, 39)
+        assert len(values) == 40
+        # The scan must touch multiple leaf blocks.
+        assert len(blocks) > tree.height()
+
+
+class TestInvariants:
+    def test_check_invariants_after_sequential(self):
+        tree = make_tree(order=4)
+        for key in range(200):
+            tree.insert(key, key)
+        tree.check_invariants()
+
+    def test_check_invariants_after_reverse(self):
+        tree = make_tree(order=4)
+        for key in reversed(range(200)):
+            tree.insert(key, key)
+        tree.check_invariants()
+
+    def test_node_blocks_unique(self):
+        space = DataSpace()
+        tree = BTreeIndex("u", space, order=4)
+        for key in range(100):
+            tree.insert(key, key)
+        blocks = []
+
+        def collect(node):
+            blocks.append(node.block)
+            for child in node.children:
+                collect(child)
+
+        collect(tree.root)
+        assert len(blocks) == len(set(blocks))
+        assert space.region_blocks("index:u") >= len(blocks)
+
+
+@given(st.lists(st.integers(-10_000, 10_000), min_size=1, max_size=300),
+       st.sampled_from([4, 8, 32]))
+@settings(max_examples=40, deadline=None)
+def test_btree_matches_dict_semantics(keys, order):
+    """Property: the B+Tree agrees with a dict after arbitrary inserts,
+    stays balanced and sorted."""
+    tree = BTreeIndex("p", DataSpace(), order=order)
+    reference = {}
+    for key in keys:
+        tree.insert(key, key * 3)
+        reference[key] = key * 3
+    tree.check_invariants()
+    for key, value in reference.items():
+        assert tree.lookup(key) == value
+    assert tree.size == len(reference)
+    assert [k for k, _ in tree.items()] == sorted(reference)
+
+
+@given(st.lists(st.integers(0, 500), min_size=5, max_size=200),
+       st.integers(0, 500), st.integers(0, 500))
+@settings(max_examples=40, deadline=None)
+def test_btree_scan_matches_sorted_filter(keys, a, b):
+    """Property: scan(low, high) returns exactly the dict's keys in
+    [low, high], in order."""
+    low, high = min(a, b), max(a, b)
+    tree = BTreeIndex("s", DataSpace(), order=8)
+    reference = {}
+    for key in keys:
+        tree.insert(key, key + 1)
+        reference[key] = key + 1
+    values, _ = tree.scan(low, high)
+    expected = [reference[k] for k in sorted(reference)
+                if low <= k <= high]
+    assert values == expected
+
+
+class TestDelete:
+    def test_delete_existing(self):
+        tree = make_tree()
+        tree.insert(5, 50)
+        deleted, path = tree.delete(5)
+        assert deleted
+        assert path
+        assert tree.lookup(5) is None
+        assert tree.size == 0
+
+    def test_delete_missing(self):
+        tree = make_tree()
+        tree.insert(5, 50)
+        deleted, _ = tree.delete(99)
+        assert not deleted
+        assert tree.size == 1
+
+    def test_delete_preserves_invariants(self):
+        tree = make_tree(order=4)
+        for key in range(100):
+            tree.insert(key, key)
+        for key in range(0, 100, 3):
+            assert tree.delete(key)[0]
+        tree.check_invariants()
+        assert tree.size == 100 - 34
+        assert tree.lookup(3) is None
+        assert tree.lookup(4) == 4
+
+    def test_delete_then_reinsert(self):
+        tree = make_tree()
+        tree.insert(5, 50)
+        tree.delete(5)
+        tree.insert(5, 51)
+        assert tree.lookup(5) == 51
+
+    def test_scan_after_delete(self):
+        tree = make_tree(order=4)
+        for key in range(20):
+            tree.insert(key, key)
+        tree.delete(10)
+        values, _ = tree.scan(8, 12)
+        assert values == [8, 9, 11, 12]

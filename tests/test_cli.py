@@ -1,0 +1,57 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main, run_single
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.workload == "tpcc"
+        assert args.scheduler == "strex"
+        assert args.cores == 4
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--workload", "tpch"])
+
+    def test_rejects_unknown_scheduler(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--scheduler", "zeus"])
+
+
+class TestExecution:
+    def test_single_run_prints_metrics(self, capsys):
+        code = main([
+            "--workload", "tpcc", "--scheduler", "strex",
+            "--cores", "2", "--transactions", "8", "--seed", "5",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "I-MPKI" in out
+        assert "vs baseline" in out
+
+    def test_baseline_run(self, capsys):
+        code = main([
+            "--workload", "mapreduce", "--scheduler", "base",
+            "--cores", "2", "--transactions", "4", "--seed", "5",
+        ])
+        assert code == 0
+        assert "x1.000" in capsys.readouterr().out
+
+    def test_run_single_report(self):
+        args = build_parser().parse_args([
+            "--workload", "tpce", "--scheduler", "slicc",
+            "--cores", "2", "--transactions", "6", "--seed", "9",
+        ])
+        report = run_single(args)
+        assert "slicc" in report
+        assert "throughput" in report
+
+    def test_team_size_flag(self, capsys):
+        code = main([
+            "--scheduler", "strex", "--team-size", "4",
+            "--cores", "2", "--transactions", "8", "--seed", "5",
+        ])
+        assert code == 0

@@ -1,0 +1,101 @@
+"""Tests for repro.config."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    BLOCK_SIZE,
+    CacheConfig,
+    SystemConfig,
+    default_scale,
+    paper_scale,
+    tiny_scale,
+)
+
+
+class TestCacheConfig:
+    def test_num_blocks(self):
+        config = CacheConfig(32 * 1024)
+        assert config.num_blocks == 512
+
+    def test_num_sets(self):
+        config = CacheConfig(32 * 1024, assoc=8)
+        assert config.num_sets == 64
+
+    def test_block_size_default(self):
+        assert CacheConfig(1024).block_bytes == BLOCK_SIZE
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            CacheConfig(0)
+
+    def test_rejects_negative_assoc(self):
+        with pytest.raises(ValueError):
+            CacheConfig(1024, assoc=-1)
+
+    def test_rejects_non_multiple_geometry(self):
+        with pytest.raises(ValueError):
+            CacheConfig(1000, assoc=8, block_bytes=64)
+
+    def test_fully_associative_allowed(self):
+        config = CacheConfig(1024, assoc=16)
+        assert config.num_sets == 1
+
+    def test_frozen(self):
+        config = CacheConfig(1024)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.size_bytes = 2048
+
+
+class TestSystemConfig:
+    def test_paper_scale_matches_table2(self):
+        config = paper_scale()
+        assert config.l1i.size_bytes == 32 * 1024
+        assert config.l1i.assoc == 8
+        assert config.l1i.block_bytes == 64
+        assert config.l1i.hit_latency == 3
+        assert config.l2_slice.size_bytes == 1024 * 1024
+        assert config.l2_slice.assoc == 16
+        assert config.l2_slice.hit_latency == 16
+
+    def test_default_scale_preserves_ratios(self):
+        paper = paper_scale()
+        scaled = default_scale()
+        paper_ratio = paper.l2_slice.size_bytes / paper.l1i.size_bytes
+        scaled_ratio = scaled.l2_slice.size_bytes / scaled.l1i.size_bytes
+        assert paper_ratio == scaled_ratio
+
+    def test_tiny_scale_l1_blocks(self):
+        assert tiny_scale().l1i_blocks == 32
+
+    def test_with_cores(self):
+        config = default_scale(num_cores=2)
+        bigger = config.with_cores(16)
+        assert bigger.num_cores == 16
+        assert config.num_cores == 2
+        assert bigger.l1i == config.l1i
+
+    def test_with_strex(self):
+        config = default_scale()
+        tuned = config.with_strex(team_size=20)
+        assert tuned.strex.team_size == 20
+        assert config.strex.team_size == 10
+
+    def test_with_l1_replacement(self):
+        config = default_scale()
+        tuned = config.with_l1_replacement("brrip")
+        assert tuned.l1i.replacement == "brrip"
+        assert tuned.l1d.replacement == "brrip"
+        assert config.l1i.replacement == "lru"
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            SystemConfig(num_cores=0)
+
+    def test_phase_modulo(self):
+        config = default_scale()
+        assert config.strex.phase_modulo == 256
+
+    def test_seed_default(self):
+        assert default_scale().seed == 1013

@@ -1,0 +1,149 @@
+"""Tests for the FPTable profiler and the STREX+SLICC hybrid."""
+
+import pytest
+
+from repro.config import tiny_scale
+from repro.core.fptable import (
+    FPTable,
+    measure_footprint_blocks,
+    profile_fptable,
+)
+from repro.sched.hybrid import HybridScheduler
+from repro.sim.engine import SimulationEngine
+from repro.trace.trace import TraceBuilder
+
+
+def synthetic_trace(txn_id, blocks, txn_type="S"):
+    builder = TraceBuilder(txn_id, txn_type)
+    for block in blocks:
+        builder.append(block, 10)
+    return builder.build()
+
+
+class TestMeasureFootprint:
+    def test_distinct_block_count(self):
+        trace = synthetic_trace(0, [1, 2, 3, 2, 1])
+        assert measure_footprint_blocks(trace, tiny_scale()) == 3
+
+    def test_repeats_not_recounted(self):
+        trace = synthetic_trace(0, [5] * 100)
+        assert measure_footprint_blocks(trace, tiny_scale()) == 1
+
+
+class TestFPTable:
+    def test_record_and_lookup(self):
+        table = FPTable()
+        table.record("A", 14)
+        assert table.units("A") == 14
+        assert table.known_types() == ["A"]
+
+    def test_median_odd(self):
+        table = FPTable()
+        for name, units in (("A", 12), ("B", 14), ("C", 11)):
+            table.record(name, units)
+        assert table.median_units() == 12
+
+    def test_median_even(self):
+        table = FPTable()
+        for name, units in (("A", 10), ("B", 14)):
+            table.record(name, units)
+        assert table.median_units() == 12.0
+
+    def test_median_matches_paper_tpcc(self):
+        table = FPTable()
+        for name, units in (("Delivery", 12), ("NewOrder", 14),
+                            ("OrderStatus", 11), ("Payment", 14),
+                            ("StockLevel", 11)):
+            table.record(name, units)
+        assert table.median_units() == 12  # SLICC only above 12 cores
+
+    def test_median_matches_paper_tpce(self):
+        table = FPTable()
+        for name, units in (("Broker", 7), ("Customer", 9),
+                            ("Market", 9), ("Security", 5),
+                            ("TrStat", 9), ("TrUpd", 8), ("TrLook", 8)):
+            table.record(name, units)
+        assert table.median_units() == 8  # SLICC at 8 cores and above
+
+    def test_max_units(self):
+        table = FPTable()
+        table.record("A", 3)
+        table.record("B", 9)
+        assert table.max_units() == 9
+
+    def test_empty_median_raises(self):
+        with pytest.raises(ValueError):
+            FPTable().median_units()
+
+    def test_profile_rounds_up_to_units(self):
+        # 40 blocks over a 32-block unit -> 2 units.
+        traces = [synthetic_trace(0, list(range(2000, 2040)), "A")]
+        table = profile_fptable(traces, tiny_scale())
+        assert table.units("A") == 2
+
+    def test_profile_multiple_types(self):
+        traces = [
+            synthetic_trace(0, list(range(2000, 2030)), "A"),
+            synthetic_trace(1, list(range(3000, 3100)), "B"),
+        ]
+        table = profile_fptable(traces, tiny_scale())
+        assert table.units("A") == 1
+        assert table.units("B") == 4
+
+
+class TestHybrid:
+    def make_engine(self, traces, cores, fptable=None):
+        config = tiny_scale(num_cores=cores)
+        return SimulationEngine(
+            config, traces,
+            lambda engine: HybridScheduler(engine, fptable=fptable),
+        )
+
+    def big_small_traces(self):
+        """Two types: 'big' needs 4 units, 'small' needs 2."""
+        traces = []
+        for i in range(4):
+            traces.append(synthetic_trace(
+                i, [2000 + j for j in range(128)], "big"))
+        for i in range(4, 8):
+            traces.append(synthetic_trace(
+                i, [5000 + j for j in range(64)], "small"))
+        return traces
+
+    def test_selects_strex_when_cores_scarce(self):
+        engine = self.make_engine(self.big_small_traces(), cores=2)
+        assert engine.scheduler.decision == "strex"
+
+    def test_selects_slicc_when_cores_cover_median(self):
+        engine = self.make_engine(self.big_small_traces(), cores=4)
+        # median footprint = (2 + 4)/2 = 3 units <= 4 cores
+        assert engine.scheduler.decision == "slicc"
+
+    def test_explicit_fptable_respected(self):
+        table = FPTable()
+        table.record("big", 50)
+        table.record("small", 50)
+        engine = self.make_engine(self.big_small_traces(), cores=4,
+                                  fptable=table)
+        assert engine.scheduler.decision == "strex"
+
+    def test_runs_to_completion_either_way(self):
+        for cores in (2, 4):
+            engine = self.make_engine(self.big_small_traces(), cores)
+            result = engine.run("x")
+            assert result.transactions == 8
+            assert result.scheduler == "hybrid"
+            assert engine.scheduler.decision in ("strex", "slicc")
+
+    def test_tracks_better_scheduler(self, tiny_tpcc):
+        """Section 5.5.1: the hybrid closely follows the best of
+        STREX and SLICC."""
+        from repro.sched.slicc import SliccScheduler
+        from repro.sched.strex import StrexScheduler
+        traces = tiny_tpcc.generate_mix(16, seed=41)
+        config = tiny_scale(num_cores=2)
+        strex = SimulationEngine(config, traces, StrexScheduler).run("x")
+        slicc = SimulationEngine(config, traces, SliccScheduler).run("x")
+        hybrid = SimulationEngine(config, traces, HybridScheduler).run("x")
+        best = max(strex.throughput, slicc.throughput)
+        assert hybrid.throughput >= best * 0.9

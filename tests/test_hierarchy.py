@@ -1,0 +1,144 @@
+"""Tests for repro.cache.hierarchy (latency accounting, coherence,
+NUCA placement, prefetcher interplay)."""
+
+from repro.cache.hierarchy import MemoryHierarchy
+from repro.config import tiny_scale
+from repro.prefetch.nextline import NextLinePrefetcher
+from repro.prefetch.pif import PifIdealPrefetcher
+
+
+def make_hier(cores=2, prefetcher=None):
+    return MemoryHierarchy(tiny_scale(num_cores=cores), prefetcher)
+
+
+class TestInstructionPath:
+    def test_hit_latency(self):
+        hier = make_hier()
+        hier.fetch_instruction(0, 100)
+        latency = hier.fetch_instruction(0, 100)
+        assert latency == hier.l1i[0].config.hit_latency
+
+    def test_miss_includes_l2_round_trip(self):
+        hier = make_hier()
+        latency = hier.fetch_instruction(0, 100)
+        l2_hit = hier.l2[0].config.hit_latency
+        assert latency > l2_hit  # L1 hit + NoC + L2 (+ DRAM)
+
+    def test_l2_warm_miss_cheaper_than_cold(self):
+        hier = make_hier()
+        cold = hier.fetch_instruction(0, 100)  # fills L2 from DRAM
+        hier.l1i[0].invalidate(100)
+        warm = hier.fetch_instruction(0, 100)  # L2 hit
+        assert warm < cold
+
+    def test_phase_tag_propagates(self):
+        hier = make_hier()
+        hier.fetch_instruction(0, 100, tag=7)
+        assert hier.l1i[0].tag_of(100) == 7
+
+    def test_home_slice_interleaving(self):
+        hier = make_hier(cores=4)
+        assert hier.home_slice(0) == 0
+        assert hier.home_slice(5) == 1
+
+    def test_remote_slice_costs_more(self):
+        hier = make_hier(cores=4)
+        # Warm both slices at L2 level first.
+        hier.fetch_instruction(0, 4)   # home slice 0 (local to core 0)
+        hier.fetch_instruction(0, 6)   # home slice 2 (one hop away)
+        hier.l1i[0].invalidate(4)
+        hier.l1i[0].invalidate(6)
+        local = hier.fetch_instruction(0, 4)
+        remote = hier.fetch_instruction(0, 6)
+        assert remote > local
+
+    def test_covered_miss_charges_contention_fraction(self):
+        hier = make_hier(prefetcher=PifIdealPrefetcher(2))
+        latency = hier.fetch_instruction(0, 100)
+        hit = hier.l1i[0].config.hit_latency
+        # More than a pure hit (contention), far less than a full miss.
+        assert latency > hit
+        uncovered = make_hier().fetch_instruction(0, 100)
+        assert latency < uncovered
+
+    def test_prefetcher_observes_hits_and_misses(self):
+        prefetcher = NextLinePrefetcher(2)
+        hier = make_hier(prefetcher=prefetcher)
+        hier.fetch_instruction(0, 100)
+        assert prefetcher.covers(0, 101)
+
+
+class TestDataPath:
+    def test_read_then_read_hits(self):
+        hier = make_hier()
+        hier.access_data(0, 500, False)
+        latency = hier.access_data(0, 500, False)
+        assert latency == hier.l1d[0].config.hit_latency
+
+    def test_write_invalidates_sharers(self):
+        hier = make_hier()
+        hier.access_data(0, 500, False)
+        hier.access_data(1, 500, False)
+        hier.access_data(0, 500, True)
+        assert not hier.l1d[1].contains(500)
+        assert hier.l1d[0].contains(500)
+
+    def test_read_does_not_invalidate(self):
+        hier = make_hier()
+        hier.access_data(0, 500, False)
+        hier.access_data(1, 500, False)
+        assert hier.l1d[0].contains(500)
+
+    def test_coherence_miss_counted_once(self):
+        hier = make_hier()
+        hier.access_data(0, 500, False)
+        hier.access_data(1, 500, True)
+        hier.access_data(0, 500, False)  # coherence miss
+        hier.access_data(0, 500, False)  # plain hit
+        assert hier.coherence_misses[0] == 1
+
+    def test_capacity_miss_not_coherence(self):
+        hier = make_hier()
+        # Evict 500 by capacity: fill its set with conflicting blocks.
+        hier.access_data(0, 500, False)
+        set_size = hier.l1d[0].num_sets
+        for i in range(1, 10):
+            hier.access_data(0, 500 + i * set_size, False)
+        hier.access_data(0, 500, False)
+        assert hier.coherence_misses[0] == 0
+
+    def test_write_back_ownership_transfer(self):
+        hier = make_hier()
+        hier.access_data(0, 500, True)
+        hier.access_data(1, 500, True)
+        hier.access_data(0, 500, True)
+        # Ownership ping-pong: each write invalidates the other side.
+        assert not hier.l1d[1].contains(500)
+
+    def test_dirty_remote_read_downgrades(self):
+        hier = make_hier()
+        hier.access_data(0, 500, True)
+        hier.access_data(1, 500, False)
+        entry = hier._directory[500]
+        assert entry.owner is None
+        assert entry.sharers == {0, 1}
+
+
+class TestStats:
+    def test_snapshot_keys(self):
+        hier = make_hier()
+        hier.fetch_instruction(0, 1)
+        hier.access_data(0, 500, True)
+        snap = hier.snapshot()
+        assert snap["l1i_misses"] == 1
+        assert snap["l1d_misses"] == 1
+        assert snap["l2_traffic"] == 2
+
+    def test_victim_callback_install(self):
+        hier = make_hier()
+        seen = []
+        hier.set_victim_callback(0, lambda b, t: seen.append((b, t)))
+        capacity = hier.l1i[0].config.num_blocks
+        for block in range(capacity + 1):
+            hier.fetch_instruction(0, block, tag=3)
+        assert seen and seen[0][1] == 3

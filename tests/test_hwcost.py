@@ -1,0 +1,66 @@
+"""Tests for the Table 4 hardware cost model."""
+
+from repro.config import paper_scale
+from repro.core.hwcost import FieldWidths, HardwareCostModel
+from repro.prefetch.pif import PifIdealPrefetcher
+
+
+def paper_model():
+    """The exact Table 4 configuration: 32 KiB L1-I (512 blocks),
+    20-entry thread queue, 30-entry team table."""
+    return HardwareCostModel(paper_scale(), max_team_size=20,
+                             formation_window=30)
+
+
+class TestTable4:
+    def test_thread_queue_bits(self):
+        # 20 entries x (12-bit ID + 48-bit pointer + 1-bit lead) = 1220.
+        assert paper_model().thread_queue_bits() == 20 * 61
+
+    def test_phase_counter_bits(self):
+        assert paper_model().phase_counter_bits() == 8
+
+    def test_pidt_bits(self):
+        # 512 cache blocks x 8 bits.
+        assert paper_model().pidt_bits() == 4096
+
+    def test_thread_scheduler_total_matches_paper(self):
+        # Table 4: 5324 bits (665.5 bytes).
+        assert paper_model().thread_scheduler_bits() == 5324
+
+    def test_team_table_matches_paper(self):
+        # Table 4: 30 x (12 + 32 + 4 + 4 + 8) = 1800 bits (225 bytes).
+        assert paper_model().team_table_bits() == 1800
+
+    def test_strex_total_bytes(self):
+        model = paper_model()
+        assert model.strex_total_bytes() == (5324 + 1800) / 8.0
+
+    def test_slicc_monitor_matches_paper(self):
+        # Table 4: 60 + 100 + 2048 = 2208 bits (276 bytes).
+        assert paper_model().slicc_monitor_bits() == 2208
+
+    def test_hybrid_total_matches_paper(self):
+        # 890.5 (STREX) + 276 (SLICC monitor) = 1166.5 bytes.
+        assert paper_model().hybrid_total_bytes() == 1166.5
+
+    def test_under_two_percent_of_pif(self):
+        # Abstract: "less than 2% of the storage required by PIF".
+        model = paper_model()
+        assert model.fraction_of_pif() < 0.025
+        assert PifIdealPrefetcher.STORAGE_BYTES_PER_CORE == 40 * 1024
+
+    def test_breakdown_keys(self):
+        breakdown = paper_model().breakdown()
+        assert breakdown["strex_total_bits"] == 7124
+        assert breakdown["hybrid_total_bits"] == 7124 + 2208
+
+    def test_scales_with_cache_size(self):
+        from repro.config import tiny_scale
+        small = HardwareCostModel(tiny_scale())
+        assert small.pidt_bits() == 32 * 8
+
+    def test_custom_widths(self):
+        widths = FieldWidths(phase_tag_bits=4)
+        model = HardwareCostModel(paper_scale(), widths=widths)
+        assert model.pidt_bits() == 512 * 4

@@ -1,0 +1,122 @@
+"""Tests for repro.mem.dram and repro.noc.torus."""
+
+import pytest
+
+from repro.config import MemoryConfig, NocConfig
+from repro.mem.dram import DramModel
+from repro.noc.torus import TorusNetwork, grid_shape
+
+
+class TestDram:
+    def test_first_access_is_row_miss(self):
+        dram = DramModel(MemoryConfig())
+        latency = dram.access(0)
+        assert latency == MemoryConfig().base_latency
+        assert dram.row_misses == 1
+
+    def test_same_row_hits(self):
+        config = MemoryConfig()
+        dram = DramModel(config)
+        dram.access(0)
+        latency = dram.access(1)  # same row (row spans 128 blocks)
+        assert latency == config.row_hit_latency
+        assert dram.row_hits == 1
+
+    def test_row_conflict_in_same_bank(self):
+        config = MemoryConfig()
+        dram = DramModel(config)
+        total_banks = config.num_channels * config.num_banks
+        blocks_per_row = config.row_bytes // 64
+        dram.access(0)
+        # A different row mapping to the same bank.
+        conflict_block = total_banks * blocks_per_row
+        assert dram.access(conflict_block) == config.base_latency
+
+    def test_closed_page_never_hits(self):
+        config = MemoryConfig(open_page=False)
+        dram = DramModel(config)
+        dram.access(0)
+        assert dram.access(1) == config.base_latency
+        assert dram.row_hits == 0
+
+    def test_accesses_counter(self):
+        dram = DramModel(MemoryConfig())
+        for block in range(5):
+            dram.access(block)
+        assert dram.accesses == 5
+
+    def test_snapshot(self):
+        dram = DramModel(MemoryConfig())
+        dram.access(0)
+        snap = dram.snapshot()
+        assert snap["accesses"] == 1
+        assert snap["row_misses"] == 1
+
+
+class TestGridShape:
+    @pytest.mark.parametrize("n,shape", [
+        (1, (1, 1)), (2, (1, 2)), (4, (2, 2)), (8, (2, 4)),
+        (16, (4, 4)), (6, (2, 3)), (12, (3, 4)),
+    ])
+    def test_near_square(self, n, shape):
+        assert grid_shape(n) == shape
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            grid_shape(0)
+
+
+class TestTorus:
+    def test_self_distance_zero(self):
+        torus = TorusNetwork(16, NocConfig())
+        assert torus.hop_distance(3, 3) == 0
+
+    def test_neighbor_distance(self):
+        torus = TorusNetwork(16, NocConfig())  # 4x4
+        assert torus.hop_distance(0, 1) == 1
+        assert torus.hop_distance(0, 4) == 1
+
+    def test_wraparound(self):
+        torus = TorusNetwork(16, NocConfig())  # 4x4
+        # Node 0 (0,0) to node 3 (0,3): wrap distance 1, not 3.
+        assert torus.hop_distance(0, 3) == 1
+
+    def test_max_distance_4x4(self):
+        torus = TorusNetwork(16, NocConfig())
+        worst = max(torus.hop_distance(0, d) for d in range(16))
+        assert worst == 4  # 2 + 2 on a 4x4 torus
+
+    def test_symmetry(self):
+        torus = TorusNetwork(8, NocConfig())
+        for a in range(8):
+            for b in range(8):
+                assert torus.hop_distance(a, b) == torus.hop_distance(b, a)
+
+    def test_latency_counts_traffic(self):
+        torus = TorusNetwork(4, NocConfig(hop_latency=2))
+        latency = torus.latency(0, 1)
+        assert latency == 2
+        assert torus.messages == 1
+        assert torus.total_hops == 1
+
+    def test_mean_hops(self):
+        torus = TorusNetwork(4, NocConfig())
+        torus.latency(0, 1)
+        torus.latency(0, 0)
+        assert torus.mean_hops == 0.5
+
+    def test_mean_hops_no_traffic(self):
+        assert TorusNetwork(4, NocConfig()).mean_hops == 0.0
+
+    def test_out_of_range_node(self):
+        torus = TorusNetwork(4, NocConfig())
+        with pytest.raises(ValueError):
+            torus.coordinates(4)
+
+    def test_triangle_inequality(self):
+        torus = TorusNetwork(12, NocConfig())
+        for a in range(12):
+            for b in range(12):
+                for c in range(12):
+                    assert torus.hop_distance(a, c) <= \
+                        torus.hop_distance(a, b) + torus.hop_distance(b, c)

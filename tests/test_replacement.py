@@ -1,0 +1,190 @@
+"""Tests for repro.cache.replacement."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.replacement import make_policy, policy_names
+
+
+def _policy(name, num_sets=4, assoc=4, seed=1):
+    return make_policy(name, num_sets, assoc, random.Random(seed))
+
+
+class TestRegistry:
+    def test_all_policies_registered(self):
+        assert set(policy_names()) == {
+            "lru", "fifo", "random", "lip", "bip", "dip", "srrip", "brrip"
+        }
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(ValueError, match="unknown replacement"):
+            _policy("plru")
+
+    @pytest.mark.parametrize("name", [
+        "lru", "fifo", "random", "lip", "bip", "dip", "srrip", "brrip"
+    ])
+    def test_make_policy_returns_named(self, name):
+        assert _policy(name).name == name
+
+
+class TestLru:
+    def test_evicts_least_recently_used(self):
+        policy = _policy("lru", num_sets=1, assoc=4)
+        for way in range(4):
+            policy.on_insert(0, way)
+        policy.on_hit(0, 0)  # way 0 becomes MRU; way 1 is LRU
+        assert policy.victim_way(0) == 1
+
+    def test_insert_is_mru(self):
+        policy = _policy("lru", num_sets=1, assoc=2)
+        policy.on_insert(0, 0)
+        policy.on_insert(0, 1)
+        assert policy.victim_way(0) == 0
+
+    def test_sets_are_independent(self):
+        policy = _policy("lru", num_sets=2, assoc=2)
+        policy.on_insert(0, 1)
+        policy.on_insert(1, 0)
+        assert policy.victim_way(0) != policy.victim_way(1)
+
+
+class TestFifo:
+    def test_hit_does_not_promote(self):
+        policy = _policy("fifo", num_sets=1, assoc=3)
+        for way in range(3):
+            policy.on_insert(0, way)
+        policy.on_hit(0, 0)  # FIFO ignores the hit
+        assert policy.victim_way(0) == 0
+
+
+class TestRandom:
+    def test_victim_in_range(self):
+        policy = _policy("random", num_sets=1, assoc=4)
+        for _ in range(100):
+            assert 0 <= policy.victim_way(0) < 4
+
+    def test_covers_all_ways_eventually(self):
+        policy = _policy("random", num_sets=1, assoc=4)
+        seen = {policy.victim_way(0) for _ in range(200)}
+        assert seen == {0, 1, 2, 3}
+
+
+class TestLip:
+    def test_insert_lands_at_lru(self):
+        policy = _policy("lip", num_sets=1, assoc=4)
+        for way in range(4):
+            policy.on_insert(0, way)
+        # The most recent insertion is the next victim.
+        assert policy.victim_way(0) == 3
+
+    def test_hit_promotes_to_mru(self):
+        policy = _policy("lip", num_sets=1, assoc=2)
+        policy.on_insert(0, 0)
+        policy.on_insert(0, 1)
+        policy.on_hit(0, 1)
+        assert policy.victim_way(0) == 0
+
+
+class TestBip:
+    def test_mostly_lru_insertion(self):
+        policy = _policy("bip", num_sets=1, assoc=4, seed=3)
+        lru_like = 0
+        trials = 400
+        for _ in range(trials):
+            policy.on_insert(0, 3)
+            if policy.victim_way(0) == 3:
+                lru_like += 1
+            # Restore a known order for the next trial.
+            for way in range(4):
+                policy.on_hit(0, way)
+        assert lru_like > trials * 0.9
+
+    def test_occasionally_mru_insertion(self):
+        policy = _policy("bip", num_sets=1, assoc=4, seed=3)
+        mru_like = 0
+        for _ in range(600):
+            policy.on_insert(0, 3)
+            if policy.victim_way(0) != 3:
+                mru_like += 1
+            for way in range(4):
+                policy.on_hit(0, way)
+        assert mru_like > 0
+
+
+class TestDip:
+    def test_has_leader_sets_of_both_kinds(self):
+        policy = _policy("dip", num_sets=64, assoc=4)
+        roles = {policy._set_role(i) for i in range(64)}
+        assert {"lru_leader", "bip_leader", "follower"} <= roles
+
+    def test_psel_moves_on_leader_misses(self):
+        policy = _policy("dip", num_sets=64, assoc=4)
+        start = policy._psel
+        policy.on_miss(0)  # set 0 is an LRU leader
+        assert policy._psel == start + 1
+        policy.on_miss(16)  # set 16 is a BIP leader
+        assert policy._psel == start
+
+    def test_follower_uses_winner(self):
+        policy = _policy("dip", num_sets=64, assoc=4)
+        # Bias PSEL fully toward LRU (BIP leaders miss a lot).
+        for _ in range(2000):
+            policy.on_miss(16)
+        policy.on_insert(1, 3)  # set 1 is a follower
+        assert policy.victim_way(1) != 3  # LRU insertion (way 3 is MRU)
+
+
+class TestSrrip:
+    def test_insert_is_long_not_distant(self):
+        policy = _policy("srrip", num_sets=1, assoc=2)
+        policy.on_insert(0, 0)
+        # Way 1 is untouched (distant); the victim must be way 1.
+        assert policy.victim_way(0) == 1
+
+    def test_hit_promotes_to_near(self):
+        policy = _policy("srrip", num_sets=1, assoc=2)
+        policy.on_insert(0, 0)
+        policy.on_insert(0, 1)
+        policy.on_hit(0, 0)
+        assert policy.victim_way(0) == 1
+
+    def test_aging_terminates(self):
+        policy = _policy("srrip", num_sets=1, assoc=4)
+        for way in range(4):
+            policy.on_insert(0, way)
+            policy.on_hit(0, way)
+        victim = policy.victim_way(0)
+        assert 0 <= victim < 4
+
+
+class TestBrrip:
+    def test_mostly_distant_insertion(self):
+        policy = _policy("brrip", num_sets=1, assoc=2, seed=5)
+        distant = 0
+        trials = 300
+        for _ in range(trials):
+            policy.on_insert(0, 0)
+            policy.on_hit(0, 1)
+            if policy.victim_way(0) == 0:
+                distant += 1
+        assert distant > trials * 0.9
+
+
+@given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3)),
+                min_size=1, max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_all_policies_always_return_valid_victims(ops):
+    """Property: after any hit/insert sequence, every policy returns an
+    in-range victim for every set."""
+    policies = [_policy(name, num_sets=4, assoc=4)
+                for name in policy_names()]
+    for set_index, way in ops:
+        for policy in policies:
+            policy.on_insert(set_index, way)
+            policy.on_hit(set_index, way)
+    for policy in policies:
+        for set_index in range(4):
+            assert 0 <= policy.victim_way(set_index) < 4

@@ -1,0 +1,77 @@
+"""Tests for repro.sim.results.RunResult metrics."""
+
+import pytest
+
+from repro.sim.results import RunResult
+
+
+def make_result(**overrides):
+    defaults = dict(
+        workload="w",
+        scheduler="s",
+        num_cores=4,
+        cycles=1000,
+        busy_cycles=4000,
+        instructions=100_000,
+        i_misses=500,
+        d_misses=200,
+        transactions=10,
+    )
+    defaults.update(overrides)
+    return RunResult(**defaults)
+
+
+class TestMpki:
+    def test_i_mpki(self):
+        assert make_result().i_mpki == 5.0
+
+    def test_d_mpki(self):
+        assert make_result().d_mpki == 2.0
+
+    def test_zero_instructions(self):
+        result = make_result(instructions=0)
+        assert result.i_mpki == 0.0
+        assert result.d_mpki == 0.0
+
+
+class TestThroughput:
+    def test_uses_mean_busy_time(self):
+        result = make_result()
+        # 10 txns over 4000/4 = 1000 busy cycles -> 10 txn per k-cycle.
+        assert result.throughput == pytest.approx(1e6 * 10 / 1000)
+
+    def test_zero_busy(self):
+        assert make_result(busy_cycles=0).throughput == 0.0
+
+    def test_relative_throughput(self):
+        base = make_result()
+        faster = make_result(busy_cycles=2000)
+        assert faster.relative_throughput(base) == pytest.approx(2.0)
+
+    def test_relative_to_zero_baseline(self):
+        base = make_result(busy_cycles=0)
+        assert make_result().relative_throughput(base) == 0.0
+
+    def test_idle_tail_does_not_penalize(self):
+        """Makespan (cycles) can grow without hurting the steady-state
+        throughput metric, which uses busy time."""
+        balanced = make_result(cycles=1000, busy_cycles=4000)
+        tailed = make_result(cycles=1600, busy_cycles=4000)
+        assert tailed.throughput == balanced.throughput
+        assert tailed.cycles > balanced.cycles
+
+
+class TestLatency:
+    def test_mean_latency(self):
+        result = make_result(latencies=[100, 300])
+        assert result.mean_latency == 200
+
+    def test_mean_latency_empty(self):
+        assert make_result().mean_latency == 0.0
+
+
+class TestSummary:
+    def test_summary_contains_fields(self):
+        text = make_result().summary()
+        for token in ("w", "s", "cores=4", "I-MPKI"):
+            assert token in text

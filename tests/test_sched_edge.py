@@ -1,0 +1,133 @@
+"""Edge cases for the schedulers and engine."""
+
+import pytest
+
+from repro.config import tiny_scale
+from repro.sched.base import BaselineScheduler
+from repro.sched.hybrid import HybridScheduler
+from repro.sched.slicc import SliccScheduler
+from repro.sched.strex import StrexScheduler
+from repro.sim.engine import SimulationEngine
+from repro.trace.trace import TraceBuilder
+
+ALL_SCHEDULERS = [BaselineScheduler, StrexScheduler, SliccScheduler,
+                  HybridScheduler]
+
+
+def synthetic_trace(txn_id, blocks, txn_type="S"):
+    builder = TraceBuilder(txn_id, txn_type)
+    for block in blocks:
+        builder.append(block, 5)
+    return builder.build()
+
+
+@pytest.mark.parametrize("scheduler", ALL_SCHEDULERS)
+class TestDegenerateInputs:
+    def test_single_event_trace(self, scheduler):
+        engine = SimulationEngine(tiny_scale(num_cores=2),
+                                  [synthetic_trace(0, [1])], scheduler)
+        result = engine.run("x")
+        assert result.transactions == 1
+        assert result.instructions == 5
+
+    def test_one_thread_many_cores(self, scheduler):
+        traces = [synthetic_trace(0, list(range(2000, 2100)))]
+        engine = SimulationEngine(tiny_scale(num_cores=4), traces,
+                                  scheduler)
+        result = engine.run("x")
+        assert result.transactions == 1
+
+    def test_more_threads_than_everything(self, scheduler):
+        traces = [synthetic_trace(i, [3000 + i, 3001 + i])
+                  for i in range(40)]
+        engine = SimulationEngine(tiny_scale(num_cores=2), traces,
+                                  scheduler)
+        result = engine.run("x")
+        assert result.transactions == 40
+        assert len(result.latencies) == 40
+
+    def test_many_types_few_cores(self, scheduler):
+        traces = [
+            synthetic_trace(i, [(i % 7) * 1000 + j for j in range(30)],
+                            txn_type=f"T{i % 7}")
+            for i in range(14)
+        ]
+        engine = SimulationEngine(tiny_scale(num_cores=2), traces,
+                                  scheduler)
+        result = engine.run("x")
+        assert result.transactions == 14
+
+
+class TestStrexEdge:
+    def test_repeating_single_block(self):
+        """A degenerate trace touching one block forever never context
+        switches (no evictions at all)."""
+        traces = [synthetic_trace(i, [42] * 200) for i in range(4)]
+        engine = SimulationEngine(tiny_scale(num_cores=1), traces,
+                                  StrexScheduler)
+        result = engine.run("x")
+        assert result.context_switches == 0
+        assert result.i_misses == 1
+
+    def test_alternating_conflict_blocks(self):
+        """Blocks mapping to one set force constant evictions; progress
+        is still guaranteed (Section 4.4.1)."""
+        sets = tiny_scale().l1i.num_sets
+        blocks = [1000 + i * sets for i in range(12)] * 10
+        traces = [synthetic_trace(i, blocks) for i in range(3)]
+        engine = SimulationEngine(tiny_scale(num_cores=1), traces,
+                                  StrexScheduler)
+        result = engine.run("x")
+        assert result.transactions == 3
+
+    def test_team_larger_than_pool(self):
+        traces = [synthetic_trace(i, [2000 + j for j in range(50)])
+                  for i in range(3)]
+        engine = SimulationEngine(
+            tiny_scale(num_cores=1), traces,
+            lambda e: StrexScheduler(e, team_size=50),
+        )
+        result = engine.run("x")
+        assert result.transactions == 3
+        assert engine.scheduler.teams_formed == 1
+
+
+class TestSliccEdge:
+    def test_fewer_threads_than_cores(self):
+        traces = [synthetic_trace(0, [2000 + i for i in range(100)])]
+        engine = SimulationEngine(tiny_scale(num_cores=4), traces,
+                                  SliccScheduler)
+        result = engine.run("x")
+        assert result.transactions == 1
+
+    def test_single_core_slicc_never_migrates(self):
+        traces = [synthetic_trace(i, [2000 + j for j in range(100)])
+                  for i in range(3)]
+        engine = SimulationEngine(tiny_scale(num_cores=1), traces,
+                                  SliccScheduler)
+        result = engine.run("x")
+        assert result.migrations == 0
+        assert result.transactions == 3
+
+
+class TestHybridEdge:
+    def test_single_type_pool(self):
+        traces = [synthetic_trace(i, [2000 + j for j in range(40)],
+                                  txn_type="only")
+                  for i in range(4)]
+        engine = SimulationEngine(tiny_scale(num_cores=2), traces,
+                                  HybridScheduler)
+        result = engine.run("x")
+        assert result.transactions == 4
+        assert engine.scheduler.decision in ("strex", "slicc")
+
+    def test_decision_uses_cores(self):
+        traces = [synthetic_trace(i, [2000 + j for j in range(160)],
+                                  txn_type="big")
+                  for i in range(4)]
+        small = SimulationEngine(tiny_scale(num_cores=2), traces,
+                                 HybridScheduler)
+        big = SimulationEngine(tiny_scale(num_cores=8), traces,
+                               HybridScheduler)
+        assert small.scheduler.decision == "strex"  # 5 units > 2 cores
+        assert big.scheduler.decision == "slicc"    # 5 units <= 8 cores

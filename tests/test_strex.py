@@ -1,0 +1,228 @@
+"""Tests for the STREX scheduler (Section 4.2's algorithm)."""
+
+import pytest
+
+from repro.config import tiny_scale
+from repro.core.teams import Team, TeamFormationUnit
+from repro.sched.strex import StrexScheduler
+from repro.sim.engine import SimulationEngine
+from repro.sim.thread import TxnThread
+from repro.trace.trace import TraceBuilder
+
+
+def synthetic_trace(txn_id, blocks, ilen=10, txn_type="S"):
+    builder = TraceBuilder(txn_id, txn_type)
+    for block in blocks:
+        builder.append(block, ilen)
+    return builder.build()
+
+
+def make_engine(traces, cores=1, team_size=10, **strex_kwargs):
+    config = tiny_scale(num_cores=cores)  # 32-block L1-I
+    if strex_kwargs:
+        config = config.with_strex(**strex_kwargs)
+    return SimulationEngine(
+        config, traces,
+        lambda engine: StrexScheduler(engine, team_size=team_size),
+    )
+
+
+class TestTeamFormation:
+    def thread(self, tid, txn_type):
+        return TxnThread(tid, synthetic_trace(tid, [1], txn_type=txn_type))
+
+    def test_groups_same_type(self):
+        threads = [self.thread(i, "A") for i in range(4)]
+        teams = TeamFormationUnit(team_size=10).form_teams(threads)
+        assert len(teams) == 1
+        assert len(teams[0]) == 4
+
+    def test_team_size_cap(self):
+        threads = [self.thread(i, "A") for i in range(25)]
+        teams = TeamFormationUnit(team_size=10).form_teams(threads)
+        assert [len(t) for t in teams] == [10, 10, 5]
+
+    def test_mixed_types_split(self):
+        threads = [self.thread(i, "AB"[i % 2]) for i in range(6)]
+        teams = TeamFormationUnit(team_size=10).form_teams(threads)
+        assert len(teams) == 2
+        assert {t.txn_type for t in teams} == {"A", "B"}
+
+    def test_stray_scheduled_individually(self):
+        threads = [self.thread(0, "A"), self.thread(1, "B"),
+                   self.thread(2, "A")]
+        teams = TeamFormationUnit(team_size=10).form_teams(threads)
+        # A-team formed from threads 0 and 2; B is a stray team of one.
+        assert [t.txn_type for t in teams] == ["A", "B"]
+        assert len(teams[1]) == 1
+
+    def test_window_limits_search(self):
+        threads = [self.thread(i, "A" if i in (0, 5) else "B")
+                   for i in range(6)]
+        unit = TeamFormationUnit(team_size=10, window=3)
+        teams = unit.form_teams(threads)
+        # Thread 5 ("A") is outside the window of the first team.
+        assert len(teams[0]) == 1
+
+    def test_dispatch_order_is_oldest_first(self):
+        threads = [self.thread(i, "AB"[i % 2]) for i in range(4)]
+        teams = TeamFormationUnit(team_size=10).form_teams(threads)
+        assert teams[0].oldest_arrival < teams[1].oldest_arrival
+
+    def test_team_rejects_mixed_types(self):
+        with pytest.raises(ValueError):
+            Team([self.thread(0, "A"), self.thread(1, "B")])
+
+    def test_team_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Team([])
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            TeamFormationUnit(team_size=0)
+
+
+class TestPhaseAlgorithm:
+    def test_identical_transactions_followers_hit(self):
+        """Section 4.1: for identical transactions only the lead misses.
+
+        Footprint is 3 cache-fulls (96 blocks over a 32-block L1-I); with
+        four identical transactions the team's misses stay close to one
+        transaction's worth.
+        """
+        blocks = [2000 + i for i in range(96)]
+        traces = [synthetic_trace(i, blocks) for i in range(4)]
+        engine = make_engine(traces)
+        result = engine.run("identical")
+        solo = 96  # cold misses of one transaction
+        assert result.i_misses < solo * 1.6
+        # The baseline would miss ~96 per transaction (footprint 3x L1).
+
+    def test_baseline_thrashes_same_workload(self):
+        from repro.sched.base import BaselineScheduler
+        blocks = [2000 + i for i in range(96)]
+        traces = [synthetic_trace(i, blocks) for i in range(4)]
+        config = tiny_scale(num_cores=1)
+        base = SimulationEngine(config, traces, BaselineScheduler)
+        base_result = base.run("x")
+        strex = make_engine(traces).run("x")
+        assert strex.i_misses < base_result.i_misses / 2
+
+    def test_context_switches_happen(self):
+        blocks = [2000 + i for i in range(96)]
+        traces = [synthetic_trace(i, blocks) for i in range(4)]
+        result = make_engine(traces).run("x")
+        assert result.context_switches > 4
+
+    def test_small_footprint_no_switches(self):
+        """MapReduce-like: footprint fits the L1-I, no evictions, so
+        transactions run to completion without context switches."""
+        blocks = [2000 + i for i in range(16)] * 4  # 0.5 cache
+        traces = [synthetic_trace(i, blocks) for i in range(4)]
+        result = make_engine(traces).run("x")
+        assert result.context_switches == 0
+
+    def test_single_stray_completes(self):
+        traces = [synthetic_trace(0, [2000 + i for i in range(100)])]
+        result = make_engine(traces).run("x")
+        assert result.transactions == 1
+        assert result.context_switches == 0
+
+    def test_lead_changes_on_finish(self):
+        """A short lead finishing promotes the next thread to lead and
+        everything still completes (Section 4.2, step 4)."""
+        short = synthetic_trace(0, [2000 + i for i in range(40)])
+        long_blocks = [2000 + i for i in range(40)] \
+            + [3000 + i for i in range(60)]
+        traces = [short] + [synthetic_trace(i, long_blocks)
+                            for i in range(1, 4)]
+        engine = make_engine(traces)
+        result = engine.run("x")
+        assert all(t.finished for t in engine.threads)
+
+    def test_phase_counter_wraps_modulo(self):
+        blocks = [2000 + i for i in range(96)]
+        traces = [synthetic_trace(i, blocks) for i in range(2)]
+        engine = make_engine(traces, phase_bits=2)  # modulo 4
+        scheduler = engine.scheduler
+        engine.run("x")
+        assert 0 <= scheduler._cores[0].phase < 4
+
+    def test_multiple_teams_multiple_cores(self):
+        a_blocks = [2000 + i for i in range(64)]
+        b_blocks = [4000 + i for i in range(64)]
+        traces = (
+            [synthetic_trace(i, a_blocks, txn_type="A") for i in range(3)]
+            + [synthetic_trace(3 + i, b_blocks, txn_type="B")
+               for i in range(3)]
+        )
+        engine = make_engine(traces, cores=2, team_size=10)
+        result = engine.run("x")
+        assert result.transactions == 6
+        assert engine.core_time[0] > 0 and engine.core_time[1] > 0
+
+    def test_team_queue_drains_to_free_core(self):
+        """More teams than cores: a core takes the next team when its
+        current team completes (Section 4.2, step 6)."""
+        traces = []
+        for team in range(3):
+            blocks = [2000 + team * 1000 + i for i in range(40)]
+            for i in range(2):
+                traces.append(synthetic_trace(team * 2 + i, blocks,
+                                              txn_type=f"T{team}"))
+        engine = make_engine(traces, cores=1)
+        result = engine.run("x")
+        assert result.transactions == 6
+
+    def test_divergent_followers_still_complete(self):
+        """Followers with extra private blocks context-switch early but
+        make progress (forward-progress guarantee, Section 4.4.1)."""
+        common = [2000 + i for i in range(80)]
+        traces = [synthetic_trace(0, common)]
+        for i in range(1, 4):
+            private = common[:40] + [9000 + i * 100 + j
+                                     for j in range(20)] + common[40:]
+            traces.append(synthetic_trace(i, private))
+        engine = make_engine(traces)
+        result = engine.run("x")
+        assert result.transactions == 4
+
+    def test_min_progress_zero_allows_early_switches(self):
+        blocks = [2000 + i for i in range(96)]
+        traces = [synthetic_trace(i, blocks) for i in range(4)]
+        eager = make_engine(traces, min_progress_events=0).run("x")
+        floored = make_engine(traces).run("x")
+        assert eager.context_switches >= floored.context_switches
+
+    def test_context_switch_cost_charged(self):
+        blocks = [2000 + i for i in range(96)]
+        traces = [synthetic_trace(i, blocks) for i in range(4)]
+        cheap = make_engine(traces, context_switch_cycles=0).run("x")
+        costly = make_engine(traces, context_switch_cycles=500).run("x")
+        assert costly.cycles > cheap.cycles
+
+    def test_team_size_one_behaves_like_serial(self):
+        blocks = [2000 + i for i in range(50)]
+        traces = [synthetic_trace(i, blocks) for i in range(3)]
+        engine = make_engine(traces, team_size=1)
+        result = engine.run("x")
+        assert result.transactions == 3
+        assert engine.scheduler.teams_formed == 3
+
+
+class TestStrexOnWorkload:
+    def test_reduces_impki_on_tpcc(self, tiny_tpcc):
+        from repro.sched.base import BaselineScheduler
+        traces = tiny_tpcc.generate_uniform("Payment", 10, seed=31)
+        config = tiny_scale(num_cores=1)
+        base = SimulationEngine(config, traces, BaselineScheduler).run("x")
+        strex = SimulationEngine(config, traces, StrexScheduler).run("x")
+        assert strex.i_mpki < base.i_mpki * 0.85
+        assert strex.instructions == base.instructions
+
+    def test_latencies_recorded_for_all(self, tiny_tpcc):
+        traces = tiny_tpcc.generate_mix(8, seed=13)
+        engine = make_engine(traces, cores=2)
+        result = engine.run("x")
+        assert len(result.latencies) == 8
+        assert all(latency > 0 for latency in result.latencies)

@@ -1,0 +1,59 @@
+"""Additional team-formation coverage: dispatch semantics under
+realistic pools."""
+
+from repro.core.teams import TeamFormationUnit
+from repro.sim.thread import TxnThread
+from repro.trace.trace import TraceBuilder
+
+
+def thread(tid, txn_type):
+    builder = TraceBuilder(tid, txn_type)
+    builder.append(1, 1)
+    return TxnThread(tid, builder.build())
+
+
+class TestFormationPatterns:
+    def test_interleaved_types_form_full_teams(self):
+        """An A/B-interleaved arrival stream still produces full teams
+        of each type (the window spans both)."""
+        threads = [thread(i, "AB"[i % 2]) for i in range(20)]
+        teams = TeamFormationUnit(team_size=10, window=30) \
+            .form_teams(threads)
+        assert sorted(len(t) for t in teams) == [10, 10]
+
+    def test_every_thread_assigned_exactly_once(self):
+        threads = [thread(i, "ABC"[i % 3]) for i in range(31)]
+        teams = TeamFormationUnit(team_size=4, window=10) \
+            .form_teams(threads)
+        seen = [member.thread_id for team in teams
+                for member in team.threads]
+        assert sorted(seen) == list(range(31))
+
+    def test_team_order_preserves_member_arrival(self):
+        threads = [thread(i, "A") for i in range(5)]
+        team = TeamFormationUnit(team_size=10).form_teams(threads)[0]
+        assert [m.thread_id for m in team.threads] == [0, 1, 2, 3, 4]
+
+    def test_rare_type_waits_for_window(self):
+        """A rare type's members spread beyond the window form multiple
+        stray-ish teams rather than one big team."""
+        types = ["A"] * 9 + ["B"] + ["A"] * 20 + ["B"]
+        threads = [thread(i, t) for i, t in enumerate(types)]
+        teams = TeamFormationUnit(team_size=10, window=10) \
+            .form_teams(threads)
+        b_teams = [t for t in teams if t.txn_type == "B"]
+        assert len(b_teams) == 2
+        assert all(len(t) == 1 for t in b_teams)
+
+    def test_window_larger_than_pool(self):
+        threads = [thread(i, "A") for i in range(3)]
+        teams = TeamFormationUnit(team_size=10, window=1000) \
+            .form_teams(threads)
+        assert len(teams) == 1
+
+    def test_empty_pool(self):
+        assert TeamFormationUnit().form_teams([]) == []
+
+    def test_repr(self):
+        team = TeamFormationUnit().form_teams([thread(0, "A")])[0]
+        assert "A" in repr(team)

@@ -1,0 +1,101 @@
+"""Tests for repro.trace.trace."""
+
+import pytest
+
+from repro.trace.trace import (
+    TraceBuilder,
+    TransactionTrace,
+    load_traces,
+    save_traces,
+)
+
+
+def build_simple(txn_id=0, txn_type="T", events=((1, 10, -1, 0),)):
+    builder = TraceBuilder(txn_id, txn_type)
+    for iblock, ilen, dblock, dwrite in events:
+        builder.append(iblock, ilen, dblock, dwrite)
+    return builder.build()
+
+
+class TestBuilder:
+    def test_build_simple(self):
+        trace = build_simple()
+        assert len(trace) == 1
+        assert trace.total_instructions == 10
+
+    def test_empty_build_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            TraceBuilder(0, "T").build()
+
+    def test_zero_ilen_rejected(self):
+        builder = TraceBuilder(0, "T")
+        with pytest.raises(ValueError):
+            builder.append(1, 0)
+
+    def test_last_iblock(self):
+        builder = TraceBuilder(0, "T")
+        assert builder.last_iblock is None
+        builder.append(42, 5)
+        assert builder.last_iblock == 42
+
+    def test_len(self):
+        builder = TraceBuilder(0, "T")
+        builder.append(1, 1)
+        builder.append(2, 1)
+        assert len(builder) == 2
+
+
+class TestTrace:
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            TransactionTrace(0, "T", [1, 2], [1], [-1, -1], [0, 0])
+
+    def test_events_iteration(self):
+        trace = build_simple(events=((1, 5, 7, 1), (2, 3, -1, 0)))
+        events = list(trace.events())
+        assert events == [(1, 5, 7, 1), (2, 3, -1, 0)]
+
+    def test_unique_iblocks(self):
+        trace = build_simple(events=((1, 5, -1, 0), (2, 5, -1, 0),
+                                     (1, 5, -1, 0)))
+        assert trace.unique_iblocks() == {1, 2}
+
+    def test_footprint_units(self):
+        trace = build_simple(events=tuple((i, 4, -1, 0)
+                                          for i in range(64)))
+        assert trace.footprint_units(32) == 2.0
+
+    def test_numpy_views(self):
+        trace = build_simple(events=((1, 5, -1, 0), (2, 3, -1, 0)))
+        assert trace.iblock_array().tolist() == [1, 2]
+        assert trace.ilen_array().sum() == 8
+
+    def test_repr(self):
+        trace = build_simple(txn_id=3, txn_type="Payment")
+        text = repr(trace)
+        assert "Payment" in text and "id=3" in text
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        traces = [
+            build_simple(0, "A", ((1, 5, 7, 1), (2, 3, -1, 0))),
+            build_simple(1, "B", ((9, 2, -1, 0),)),
+        ]
+        path = str(tmp_path / "traces.npz")
+        save_traces(path, traces)
+        loaded = load_traces(path)
+        assert len(loaded) == 2
+        assert loaded[0].txn_type == "A"
+        assert loaded[1].txn_id == 1
+        assert list(loaded[0].events()) == list(traces[0].events())
+        assert loaded[1].total_instructions == 2
+
+    def test_roundtrip_preserves_instruction_count(self, tmp_path,
+                                                   tiny_tpcc):
+        trace = tiny_tpcc.generate_trace("Payment", seed=5)
+        path = str(tmp_path / "t.npz")
+        save_traces(path, [trace])
+        loaded = load_traces(path)[0]
+        assert loaded.total_instructions == trace.total_instructions
+        assert loaded.unique_iblocks() == trace.unique_iblocks()

@@ -1,0 +1,203 @@
+"""Tests for the TPC-C / TPC-E / MapReduce workload suites."""
+
+from collections import Counter
+
+import pytest
+
+from repro.config import default_scale
+from repro.core.fptable import PAPER_FPTABLE, profile_fptable
+from repro.db.codemap import CODE_BASE_BLOCK
+from repro.workloads.tpcc import (
+    TpccWorkload,
+    customer_key,
+    district_key,
+    order_key,
+    order_line_key,
+    stock_key,
+    warehouse_key,
+)
+
+
+class TestKeys:
+    def test_keys_unique_across_entities(self):
+        keys = {
+            warehouse_key(1),
+            district_key(1, 2),
+            customer_key(1, 2, 3),
+            order_key(1, 2, 3),
+            order_line_key(1, 2, 3, 4),
+            stock_key(1, 3),
+        }
+        assert len(keys) == 6
+
+    def test_customer_keys_ordered_within_district(self):
+        assert customer_key(0, 1, 5) < customer_key(0, 1, 6)
+        assert customer_key(0, 1, 99) < customer_key(0, 2, 0)
+
+
+class TestTpccSchema:
+    def test_tables_created(self, tiny_tpcc):
+        for name in ("WAREHOUSE", "DISTRICT", "CUSTOMER", "ITEM",
+                     "STOCK", "ORDERS", "NEW_ORDER", "ORDER_LINE",
+                     "HISTORY"):
+            assert name in tiny_tpcc.db.tables
+
+    def test_population_counts(self, tiny_tpcc):
+        assert tiny_tpcc.db.table("WAREHOUSE").num_records == 1
+        assert tiny_tpcc.db.table("DISTRICT").num_records == 10
+        assert tiny_tpcc.db.table("CUSTOMER").num_records == 300
+        assert tiny_tpcc.db.table("ITEM").num_records == 100
+
+    def test_scale_factor(self):
+        blocks = 32
+        wl = TpccWorkload(blocks, warehouses=2,
+                          customers_per_district=10, items=50)
+        assert wl.db.table("WAREHOUSE").num_records == 2
+        assert wl.db.table("STOCK").num_records == 100
+        assert wl.name == "TPC-C-2"
+
+    def test_rejects_zero_warehouses(self):
+        with pytest.raises(ValueError):
+            TpccWorkload(32, warehouses=0)
+
+
+class TestTraceGeneration:
+    def test_all_types_generate(self, tiny_tpcc):
+        for name in tiny_tpcc.type_names():
+            trace = tiny_tpcc.generate_trace(name, seed=1)
+            assert len(trace) > 50
+            assert trace.txn_type == name
+
+    def test_deterministic_given_seed(self):
+        # Trace generation mutates database state (inserts, log tail),
+        # so reproducibility is defined over a fresh workload instance.
+        def fresh():
+            wl = TpccWorkload(32, warehouses=1,
+                              customers_per_district=20, items=40,
+                              seed=123)
+            return wl.generate_trace("Payment", seed=77)
+
+        a, b = fresh(), fresh()
+        assert a.iblocks == b.iblocks
+        assert a.dblocks == b.dblocks
+
+    def test_different_seeds_diverge(self, tiny_tpcc):
+        a = tiny_tpcc.generate_trace("Payment", seed=1)
+        b = tiny_tpcc.generate_trace("Payment", seed=2)
+        assert a.iblocks != b.iblocks
+
+    def test_same_type_instances_overlap_heavily(self, tiny_tpcc):
+        a = tiny_tpcc.generate_trace("Payment", seed=1)
+        b = tiny_tpcc.generate_trace("Payment", seed=2)
+        shared = a.unique_iblocks() & b.unique_iblocks()
+        union = a.unique_iblocks() | b.unique_iblocks()
+        # High overlap, but not identical: the conditional IT(CUST)
+        # action and skip-run divergence separate instances (Fig. 2).
+        assert len(shared) / len(union) > 0.7
+        assert shared != union
+
+    def test_cross_type_overlap_exists(self, tiny_tpcc):
+        """Fig. 1: New Order and Payment share their initial actions."""
+        a = tiny_tpcc.generate_trace("NewOrder", seed=1)
+        b = tiny_tpcc.generate_trace("Payment", seed=2)
+        shared = a.unique_iblocks() & b.unique_iblocks()
+        assert len(shared) / len(a.unique_iblocks()) > 0.3
+
+    def test_mix_respects_weights(self, tiny_tpcc):
+        traces = tiny_tpcc.generate_mix(200, seed=5)
+        counts = Counter(t.txn_type for t in traces)
+        assert counts["NewOrder"] + counts["Payment"] > 140
+
+    def test_instruction_addresses_in_code_space(self, tiny_tpcc):
+        trace = tiny_tpcc.generate_trace("NewOrder", seed=5)
+        assert all(b >= CODE_BASE_BLOCK for b in trace.iblocks)
+        data = [d for d in trace.dblocks if d >= 0]
+        assert data
+        assert all(d > max(trace.iblocks) for d in data)
+
+    def test_neworder_longer_than_payment(self, tiny_tpcc):
+        orders = [tiny_tpcc.generate_trace("NewOrder", seed=s)
+                  for s in range(3)]
+        pays = [tiny_tpcc.generate_trace("Payment", seed=s)
+                for s in range(3)]
+        mean = lambda ts: sum(t.total_instructions for t in ts) / len(ts)
+        assert mean(orders) > mean(pays)
+
+    def test_generate_uniform(self, tiny_tpcc):
+        traces = tiny_tpcc.generate_uniform("StockLevel", 5, seed=2)
+        assert len(traces) == 5
+        assert all(t.txn_type == "StockLevel" for t in traces)
+
+    def test_txn_ids_monotonic(self, tiny_tpcc):
+        traces = tiny_tpcc.generate_mix(5, seed=3)
+        ids = [t.txn_id for t in traces]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 5
+
+
+class TestTable3Footprints:
+    """The paper's Table 3, at default scale (8 KiB L1 units)."""
+
+    @pytest.mark.slow
+    def test_tpcc_footprints_match_paper(self, default_tpcc):
+        config = default_scale()
+        traces = []
+        for name in default_tpcc.type_names():
+            traces += default_tpcc.generate_uniform(name, 3, seed=3)
+        table = profile_fptable(traces, config, samples_per_type=3)
+        assert table.as_dict() == {
+            "NewOrder": 14, "Payment": 14, "OrderStatus": 11,
+            "Delivery": 12, "StockLevel": 11,
+        }
+
+    def test_paper_fptable_constants(self):
+        assert PAPER_FPTABLE["TPC-C"]["NewOrder"] == 14
+        assert PAPER_FPTABLE["TPC-E"]["SecurityDetail"] == 5
+
+
+class TestTpce:
+    def test_all_types_generate(self, tiny_tpce):
+        for name in tiny_tpce.type_names():
+            trace = tiny_tpce.generate_trace(name, seed=1)
+            assert len(trace) > 30
+
+    def test_seven_types(self, tiny_tpce):
+        assert len(tiny_tpce.type_names()) == 7
+
+    def test_trade_types_share_find_trades(self, tiny_tpce):
+        region = tiny_tpce.layout.region("TPC-E.FIND_TRADES")
+        blocks = set(region.blocks())
+        for name in ("TradeStatus", "TradeUpdate", "TradeLookup"):
+            trace = tiny_tpce.generate_trace(name, seed=4)
+            assert trace.unique_iblocks() & blocks
+
+    def test_security_detail_smallest(self, tiny_tpce):
+        sizes = {
+            name: len(tiny_tpce.generate_trace(name, seed=2)
+                      .unique_iblocks())
+            for name in tiny_tpce.type_names()
+        }
+        assert min(sizes, key=sizes.get) == "SecurityDetail"
+
+
+class TestMapReduce:
+    def test_tasks_generate(self, tiny_mapreduce):
+        trace = tiny_mapreduce.generate_trace("MapTask", seed=1)
+        assert len(trace) > 50
+
+    def test_footprint_fits_l1i(self, tiny_mapreduce):
+        trace = tiny_mapreduce.generate_trace("MapTask", seed=1)
+        assert trace.footprint_units(32) < 1.0
+
+    def test_streams_input_data(self, tiny_mapreduce):
+        trace = tiny_mapreduce.generate_trace("MapTask", seed=1)
+        data = [d for d in trace.dblocks if d >= 0]
+        # Streaming: most data blocks are touched exactly once.
+        counts = Counter(data)
+        once = sum(1 for c in counts.values() if c == 1)
+        assert once / len(counts) > 0.5
+
+    def test_no_transactional_path(self, tiny_mapreduce):
+        trace = tiny_mapreduce.generate_trace("MapTask", seed=1)
+        begin = tiny_mapreduce.layout.region("sm.txn_begin")
+        assert not (trace.unique_iblocks() & set(begin.blocks()))
