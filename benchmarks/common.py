@@ -12,10 +12,12 @@ Set ``REPRO_BENCH_TXNS_PER_CORE`` to trade accuracy for runtime
 from __future__ import annotations
 
 import os
+import tempfile
 from pathlib import Path
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
 
 from repro.config import SystemConfig, default_scale
+from repro.exp import ResultCache, Runner, RunSpec
 from repro.sim.results import RunResult
 from repro.trace.trace import TransactionTrace
 from repro.workloads.mapreduce import MapReduceWorkload
@@ -24,13 +26,32 @@ from repro.workloads.tpce import TpceWorkload
 
 OUT_DIR = Path(__file__).parent / "out"
 
+#: Content-addressed result cache shared by every benchmark (keys fold
+#: in a fingerprint of the repro source, so simulator edits invalidate
+#: stale entries automatically).
+CACHE_DIR = OUT_DIR / ".cache"
+
 #: Core counts evaluated throughout the paper's Section 5.
 CORE_COUNTS = (2, 4, 8, 16)
 
 TXNS_PER_CORE = int(os.environ.get("REPRO_BENCH_TXNS_PER_CORE", "10"))
 
+#: Worker processes for grid-style benchmarks (0 = in-process).
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "0"))
+
+#: Set REPRO_BENCH_CACHE=0 to force every benchmark to re-simulate.
+BENCH_CACHE = os.environ.get("REPRO_BENCH_CACHE", "1") != "0"
+
 #: Master seed for all benchmark workloads.
 SEED = 20130623  # ISCA'13
+
+#: Benchmark display label -> repro.workloads registry name.
+WORKLOAD_KEYS = {
+    "TPC-C-1": "tpcc",
+    "TPC-C-10": "tpcc10",
+    "TPC-E": "tpce",
+    "MapReduce": "mapreduce",
+}
 
 
 def config_for(cores: int) -> SystemConfig:
@@ -69,11 +90,68 @@ def traces_for(workload, cores: int = 16) -> List[TransactionTrace]:
 
 
 def write_report(name: str, text: str) -> Path:
-    """Persist a figure/table report under benchmarks/out/."""
+    """Persist a figure/table report under benchmarks/out/.
+
+    The write is atomic (temp file in ``out/`` + ``os.replace``) so a
+    killed or concurrently-running benchmark can never leave a
+    truncated report behind.
+    """
     OUT_DIR.mkdir(exist_ok=True)
     path = OUT_DIR / name
-    path.write_text(text + "\n")
+    fd, tmp = tempfile.mkstemp(dir=OUT_DIR, prefix=f".{name}.",
+                               suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text + "\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
     return path
+
+
+def bench_spec(label: str, cores: int, scheduler: str = "base",
+               prefetcher: str = "none",
+               team_size: Optional[int] = None,
+               replacement: Optional[str] = None) -> RunSpec:
+    """A :class:`RunSpec` matching the classic benchmark setup.
+
+    Reproduces exactly what the pre-``repro.exp`` benchmarks did by
+    hand: the ``default_scale`` system, workload seeded with
+    :data:`SEED`, and a batch of ``txn_count(cores)`` transactions
+    drawn with mix seed ``SEED + 16`` (identical for every core count).
+    """
+    return RunSpec(
+        workload=WORKLOAD_KEYS[label],
+        scheduler=scheduler,
+        prefetcher=prefetcher,
+        cores=cores,
+        transactions=txn_count(cores),
+        seed=SEED,
+        mix_seed=SEED + 16,
+        team_size=team_size,
+        scale="default",
+        replacement=replacement,
+    )
+
+
+def run_grid(specs: Sequence[RunSpec], jobs: Optional[int] = None,
+             use_cache: Optional[bool] = None) -> List[RunResult]:
+    """Run benchmark specs through the ``repro.exp`` runner.
+
+    Results align positionally with ``specs``.  Parallelism defaults
+    to ``REPRO_BENCH_JOBS`` (0 = in-process) and caching to
+    ``REPRO_BENCH_CACHE`` (on unless set to ``0``); the shared cache
+    lives in ``benchmarks/out/.cache`` with its run manifest.
+    """
+    jobs = BENCH_JOBS if jobs is None else jobs
+    use_cache = BENCH_CACHE if use_cache is None else use_cache
+    cache = ResultCache(CACHE_DIR) if use_cache else None
+    runner = Runner(jobs=jobs, cache=cache)
+    return runner.run(specs)
 
 
 def reduction(base: RunResult, other: RunResult,

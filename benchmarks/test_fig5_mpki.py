@@ -15,31 +15,28 @@ from __future__ import annotations
 
 from common import (
     CORE_COUNTS,
-    config_for,
-    make_workloads,
+    WORKLOAD_KEYS,
+    bench_spec,
     reduction,
-    traces_for,
+    run_grid,
     write_report,
 )
 from repro.analysis.report import format_table
-from repro.sim.api import simulate
 
 SCHEDULERS = ("base", "slicc", "strex")
 
 
 def run_fig5():
-    suites = make_workloads()
-    rows = []
-    results = {}
-    for name, workload in suites.items():
-        traces = traces_for(workload)
-        for cores in CORE_COUNTS:
-            config = config_for(cores)
-            for scheduler in SCHEDULERS:
-                run = simulate(config, traces, scheduler, name)
-                results[(name, cores, scheduler)] = run
-                rows.append([name, cores, scheduler,
-                             round(run.i_mpki, 2), round(run.d_mpki, 2)])
+    cells = [(name, cores, scheduler)
+             for name in WORKLOAD_KEYS
+             for cores in CORE_COUNTS
+             for scheduler in SCHEDULERS]
+    runs = run_grid([bench_spec(name, cores, scheduler)
+                     for name, cores, scheduler in cells])
+    results = dict(zip(cells, runs))
+    rows = [[name, cores, scheduler,
+             round(run.i_mpki, 2), round(run.d_mpki, 2)]
+            for (name, cores, scheduler), run in results.items()]
     report = format_table(
         ["workload", "cores", "scheduler", "I-MPKI", "D-MPKI"], rows)
     write_report("fig5_mpki.txt", report)

@@ -17,13 +17,12 @@ from __future__ import annotations
 
 from common import (
     CORE_COUNTS,
-    config_for,
-    make_workloads,
-    traces_for,
+    WORKLOAD_KEYS,
+    bench_spec,
+    run_grid,
     write_report,
 )
 from repro.analysis.report import format_table
-from repro.sim.api import simulate
 
 SCHEMES = (
     ("base", "base", "none"),
@@ -36,17 +35,15 @@ SCHEMES = (
 
 
 def run_fig6():
-    suites = make_workloads()
-    results = {}
-    for name, workload in suites.items():
-        traces = traces_for(workload)
-        for cores in CORE_COUNTS:
-            config = config_for(cores)
-            for label, scheduler, prefetcher in SCHEMES:
-                run = simulate(config, traces, scheduler, name,
-                               prefetcher=prefetcher)
-                results[(name, cores, label)] = run
-    return results
+    cells = [(name, cores, scheme)
+             for name in WORKLOAD_KEYS
+             for cores in CORE_COUNTS
+             for scheme in SCHEMES]
+    runs = run_grid([
+        bench_spec(name, cores, scheduler, prefetcher=prefetcher)
+        for name, cores, (label, scheduler, prefetcher) in cells])
+    return {(name, cores, label): run
+            for (name, cores, (label, _, _)), run in zip(cells, runs)}
 
 
 def test_fig6_throughput(benchmark):

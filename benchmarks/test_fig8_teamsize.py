@@ -9,26 +9,30 @@ Shape checks (Section 5.4):
 
 from __future__ import annotations
 
-from common import config_for, make_workloads, traces_for, write_report
+from common import bench_spec, run_grid, write_report
 from repro.analysis.report import format_table
-from repro.sim.api import simulate
 
 TEAM_SIZES = (2, 4, 6, 8, 10, 12, 16, 20)
 CORES = 16
+WORKLOADS = ("TPC-C-10", "TPC-E")
 
 
 def run_fig8():
-    suites = make_workloads(["TPC-C-10", "TPC-E"])
+    cells = [(name, team_size)
+             for name in WORKLOADS
+             for team_size in ("base",) + TEAM_SIZES]
+    runs = run_grid([
+        bench_spec(name, CORES) if team_size == "base"
+        else bench_spec(name, CORES, "strex", team_size=team_size)
+        for name, team_size in cells])
+    raw = dict(zip(cells, runs))
     results = {}
-    for name, workload in suites.items():
-        traces = traces_for(workload, CORES)
-        config = config_for(CORES)
-        base = simulate(config, traces, "base", name)
+    for name in WORKLOADS:
+        base = raw[(name, "base")]
         results[(name, "base")] = 1.0
         for team_size in TEAM_SIZES:
-            run = simulate(config, traces, "strex", name,
-                           team_size=team_size)
-            results[(name, team_size)] = run.relative_throughput(base)
+            results[(name, team_size)] = \
+                raw[(name, team_size)].relative_throughput(base)
     return results
 
 

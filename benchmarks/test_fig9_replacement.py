@@ -12,29 +12,24 @@ Shape checks (Section 5.7):
 
 from __future__ import annotations
 
-from common import config_for, make_workloads, traces_for, write_report
+from common import bench_spec, run_grid, write_report
 from repro.analysis.report import format_table
-from repro.sim.api import simulate
 
 STANDALONE = ("lru", "lip", "bip", "srrip", "brrip")
 WITH_STREX = ("lru", "bip", "brrip")
 CORES = 8
+WORKLOADS = ("TPC-C-10", "TPC-E")
 
 
 def run_fig9():
-    suites = make_workloads(["TPC-C-10", "TPC-E"])
-    results = {}
-    for name, workload in suites.items():
-        traces = traces_for(workload, CORES)
-        for policy in STANDALONE:
-            config = config_for(CORES).with_l1_replacement(policy)
-            run = simulate(config, traces, "base", name)
-            results[(name, "base", policy)] = run.i_mpki
-        for policy in WITH_STREX:
-            config = config_for(CORES).with_l1_replacement(policy)
-            run = simulate(config, traces, "strex", name)
-            results[(name, "strex", policy)] = run.i_mpki
-    return results
+    cells = ([(name, "base", policy)
+              for name in WORKLOADS for policy in STANDALONE]
+             + [(name, "strex", policy)
+                for name in WORKLOADS for policy in WITH_STREX])
+    runs = run_grid([
+        bench_spec(name, CORES, scheduler, replacement=policy)
+        for name, scheduler, policy in cells])
+    return {cell: run.i_mpki for cell, run in zip(cells, runs)}
 
 
 def test_fig9_replacement(benchmark):

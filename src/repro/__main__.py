@@ -1,36 +1,36 @@
 """Command-line interface: ``python -m repro``.
 
 Runs one simulation (or a core sweep) of a chosen workload under a
-chosen scheduler and prints the paper's metrics.
+chosen scheduler and prints the paper's metrics.  The ``sweep``
+subcommand expands a full parameter grid and drives it through the
+``repro.exp`` runner (parallel workers + content-addressed result
+cache).
 
 Examples::
 
     python -m repro --workload tpcc --scheduler strex --cores 4
     python -m repro --workload tpce --sweep --transactions 80
     python -m repro --workload tpcc --scheduler base --prefetcher pif
+    python -m repro sweep --workloads tpcc tpce --schedulers base strex \\
+        --cores 2 4 8 --jobs 4
+    python -m repro sweep --workloads tpcc --team-sizes 4 8 16 \\
+        --schedulers strex --no-cache
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
+from pathlib import Path
 from typing import List
 
 from repro.analysis.report import format_table
-from repro.config import default_scale, paper_scale
+from repro.config import SCALES, default_scale, paper_scale
+from repro.exp import Manifest, ResultCache, Runner, SweepSpec
 from repro.sim.api import PREFETCHERS, SCHEDULERS, simulate
-from repro.workloads.mapreduce import MapReduceWorkload
-from repro.workloads.tpcc import TpccWorkload
-from repro.workloads.tpce import TpceWorkload
+from repro.workloads import WORKLOADS
 
-WORKLOADS = {
-    "tpcc": lambda blocks, seed: TpccWorkload(blocks, warehouses=1,
-                                              seed=seed),
-    "tpcc10": lambda blocks, seed: TpccWorkload(blocks, warehouses=10,
-                                                seed=seed),
-    "tpce": lambda blocks, seed: TpceWorkload(blocks, seed=seed),
-    "mapreduce": lambda blocks, seed: MapReduceWorkload(blocks,
-                                                        seed=seed),
-}
+DEFAULT_CACHE_DIR = Path("benchmarks/out/.cache")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -67,6 +67,12 @@ def _config(args, cores: int):
 
 def run_single(args) -> str:
     """One run; returns the printed report."""
+    if args.team_size is not None and args.scheduler not in ("strex",
+                                                             "hybrid"):
+        raise ValueError(
+            "--team-size only applies to the 'strex' and 'hybrid' "
+            f"schedulers, not {args.scheduler!r}"
+        )
     config = _config(args, args.cores)
     workload = WORKLOADS[args.workload](config.l1i_blocks, args.seed)
     traces = workload.generate_mix(args.transactions, seed=args.seed)
@@ -107,10 +113,100 @@ def run_sweep(args) -> str:
         ["cores", "base I-MPKI", "strex", "slicc", "hybrid"], rows)
 
 
+def build_sweep_parser() -> argparse.ArgumentParser:
+    """Parser for the ``sweep`` subcommand (the ``repro.exp`` runner)."""
+    parser = argparse.ArgumentParser(
+        prog="repro sweep",
+        description="Expand a parameter grid into runs and execute "
+                    "them through the repro.exp runner: parallel "
+                    "workers, per-run timeout/retry, and a "
+                    "content-addressed result cache.",
+    )
+    parser.add_argument("--workloads", nargs="+",
+                        choices=sorted(WORKLOADS), default=["tpcc"])
+    parser.add_argument("--schedulers", nargs="+",
+                        choices=sorted(SCHEDULERS),
+                        default=["base", "strex"])
+    parser.add_argument("--prefetchers", nargs="+",
+                        choices=sorted(PREFETCHERS), default=["none"])
+    parser.add_argument("--cores", nargs="+", type=int, default=[2, 4])
+    parser.add_argument("--team-sizes", nargs="+", type=int, default=[],
+                        help="STREX team sizes (strex/hybrid cells only)")
+    parser.add_argument("--seeds", nargs="+", type=int, default=[1013])
+    parser.add_argument("--scales", nargs="+", choices=sorted(SCALES),
+                        default=["default"])
+    parser.add_argument("--transactions", type=int, default=40)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (<=1 runs in-process)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the content-addressed result "
+                             "cache (always re-simulate)")
+    parser.add_argument("--cache-dir", type=Path,
+                        default=DEFAULT_CACHE_DIR)
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-run wall-clock budget in seconds")
+    parser.add_argument("--retries", type=int, default=2,
+                        help="extra attempts after transient failures")
+    return parser
+
+
+def run_exp_sweep(argv: List[str]) -> str:
+    """Execute the ``sweep`` subcommand; returns the printed report."""
+    args = build_sweep_parser().parse_args(argv)
+    sweep = SweepSpec(
+        workloads=tuple(args.workloads),
+        schedulers=tuple(args.schedulers),
+        prefetchers=tuple(args.prefetchers),
+        cores=tuple(args.cores),
+        team_sizes=tuple(args.team_sizes) or (None,),
+        seeds=tuple(args.seeds),
+        scales=tuple(args.scales),
+        transactions=args.transactions,
+    )
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    manifest = None if args.no_cache \
+        else Manifest(args.cache_dir / "manifest.jsonl")
+    runner = Runner(jobs=args.jobs, cache=cache, manifest=manifest,
+                    timeout=args.timeout, retries=args.retries)
+    specs = sweep.expand()
+    results = runner.run(specs)
+    rows = []
+    for spec, run in zip(specs, results):
+        rows.append([
+            run.workload,
+            spec.scale,
+            spec.cores,
+            run.scheduler,
+            spec.team_size if spec.team_size is not None else "-",
+            spec.seed,
+            round(run.i_mpki, 2),
+            round(run.d_mpki, 2),
+            round(run.throughput, 2),
+        ])
+    table = format_table(
+        ["workload", "scale", "cores", "scheduler", "team", "seed",
+         "I-MPKI", "D-MPKI", "thr (txn/Mcyc)"], rows)
+    summary = (
+        f"{len(results)} runs: {runner.hits} cache hits, "
+        f"{runner.misses} executed"
+    )
+    if cache is not None:
+        summary += f" (cache: {args.cache_dir})"
+    return table + "\n" + summary
+
+
 def main(argv=None) -> int:
     """CLI entry point."""
-    args = build_parser().parse_args(argv)
-    report = run_sweep(args) if args.sweep else run_single(args)
+    argv = list(sys.argv[1:] if argv is None else argv)
+    try:
+        if argv and argv[0] == "sweep":
+            print(run_exp_sweep(argv[1:]))
+            return 0
+        args = build_parser().parse_args(argv)
+        report = run_sweep(args) if args.sweep else run_single(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(report)
     return 0
 

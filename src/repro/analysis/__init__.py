@@ -2,7 +2,8 @@
 distributions (Fig. 7), and text report rendering."""
 
 from repro.analysis.latency import LatencyDistribution, compare_distributions
-from repro.analysis.overlap import BANDS, OverlapAnalysis, OverlapInterval, summarize
+from repro.analysis.overlap import (BANDS, OverlapAnalysis,
+                                    OverlapInterval, summarize)
 from repro.analysis.report import bar_chart, format_table, grouped_bar_chart
 
 __all__ = [

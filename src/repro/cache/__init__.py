@@ -5,4 +5,5 @@ from repro.cache.cache import Cache, CacheStats
 from repro.cache.hierarchy import MemoryHierarchy
 from repro.cache.replacement import make_policy, policy_names
 
-__all__ = ["Cache", "CacheStats", "MemoryHierarchy", "make_policy", "policy_names"]
+__all__ = ["Cache", "CacheStats", "MemoryHierarchy", "make_policy",
+           "policy_names"]

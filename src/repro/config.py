@@ -220,6 +220,44 @@ class SystemConfig:
             l1d=dataclasses.replace(self.l1d, replacement=policy),
         )
 
+    def to_dict(self) -> dict:
+        """Plain-dict form (nested, JSON-serializable).
+
+        The dict is the canonical serialized form of a configuration:
+        `repro.exp` hashes it (with sorted keys) to derive
+        content-addressed cache keys, so equal configs always produce
+        equal dicts.
+        """
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SystemConfig":
+        """Rebuild a :class:`SystemConfig` from :meth:`to_dict` output.
+
+        Unknown keys are rejected (they would silently change the
+        meaning of a cache key); missing keys fall back to defaults.
+        """
+        nested = {
+            "core": CoreConfig,
+            "l1i": CacheConfig,
+            "l1d": CacheConfig,
+            "l2_slice": CacheConfig,
+            "memory": MemoryConfig,
+            "noc": NocConfig,
+            "strex": StrexConfig,
+            "slicc": SliccConfig,
+            "hybrid": HybridConfig,
+        }
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown SystemConfig keys: {sorted(unknown)}")
+        kwargs = {}
+        for name, value in data.items():
+            sub = nested.get(name)
+            kwargs[name] = sub(**value) if sub is not None else value
+        return cls(**kwargs)
+
     @property
     def l1i_blocks(self) -> int:
         """Blocks per L1-I; one *footprint unit* is this many blocks."""
@@ -255,3 +293,11 @@ def tiny_scale(num_cores: int = 2, **kwargs: object) -> SystemConfig:
         l2_slice=CacheConfig(32 * 1024, assoc=8, hit_latency=16),
         **kwargs,
     )
+
+
+#: Named scale presets, as selectable from `RunSpec`/CLI (`--scale`).
+SCALES = {
+    "paper": paper_scale,
+    "default": default_scale,
+    "tiny": tiny_scale,
+}

@@ -1,0 +1,39 @@
+"""Experiment orchestration: sweeps, parallel execution, result cache.
+
+The subsystem has four parts (see DESIGN.md §3):
+
+* :mod:`repro.exp.spec` — declarative :class:`RunSpec` / grid-style
+  :class:`SweepSpec` with deterministic expansion order;
+* :mod:`repro.exp.runner` — :class:`Runner`, a process-pool executor
+  with per-run timeouts, bounded retry, and order-stable results;
+* :mod:`repro.exp.cache` — :class:`ResultCache`, a content-addressed
+  store of serialized results keyed by a stable hash of the config,
+  workload parameters, scheduler/prefetcher/team-size, seeds, and the
+  package source fingerprint;
+* :mod:`repro.exp.manifest` — :class:`Manifest`, an append-only JSONL
+  audit trail of every run (key, hit/miss, wall time, worker).
+"""
+
+from repro.exp.cache import ResultCache, code_fingerprint, spec_key
+from repro.exp.manifest import Manifest, ManifestEntry
+from repro.exp.runner import (
+    RunError,
+    Runner,
+    SimTimeoutError,
+    execute_spec,
+)
+from repro.exp.spec import RunSpec, SweepSpec
+
+__all__ = [
+    "Manifest",
+    "ManifestEntry",
+    "ResultCache",
+    "RunError",
+    "RunSpec",
+    "Runner",
+    "SimTimeoutError",
+    "SweepSpec",
+    "code_fingerprint",
+    "execute_spec",
+    "spec_key",
+]

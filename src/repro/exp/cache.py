@@ -1,0 +1,167 @@
+"""Content-addressed result cache.
+
+Every run is keyed by a SHA-256 over the *content* that determines its
+outcome: the serialized :class:`~repro.config.SystemConfig`, the
+workload name and generation parameters, the scheduler / prefetcher /
+team-size triple, and a fingerprint of the ``repro`` package source.
+
+Determinism guarantee: the simulator is a pure function of
+(config, workload params, scheduler, prefetcher, team_size, seeds) —
+every stochastic choice flows from seeded RNGs held in the spec (see
+DESIGN.md, decision 3).  Two expansions of the same
+:class:`~repro.exp.spec.SweepSpec` therefore map to the same keys and
+bit-identical :class:`~repro.sim.results.RunResult` payloads, which is
+what makes re-running a sweep near-free (100% cache hits).
+
+The source fingerprint folds a hash of every ``.py`` file under the
+installed ``repro`` package into the key, so editing the simulator
+invalidates stale results instead of silently replaying them.
+
+Entries are one JSON file per key, sharded by the first two hex digits
+(``<root>/ab/abcd....json``), written atomically (temp file +
+``os.replace``) so parallel workers and killed runs can never leave a
+truncated entry; a torn or corrupt entry is treated as a miss.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+import repro
+from repro.sim.results import RunResult
+from repro.exp.spec import RunSpec
+
+#: Bump when the key schema or result schema changes shape.
+CACHE_SCHEMA = 1
+
+_code_fingerprint: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """Hash of the ``repro`` package source (memoized per process).
+
+    Covers file *contents and relative paths* of every ``.py`` file
+    under the package directory, so any simulator edit — including
+    adding or deleting a module — changes every cache key.
+    """
+    global _code_fingerprint
+    if _code_fingerprint is None:
+        root = Path(repro.__file__).parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _code_fingerprint = digest.hexdigest()
+    return _code_fingerprint
+
+
+def spec_key(spec: RunSpec) -> str:
+    """The content-addressed cache key of one run.
+
+    Stable across processes and platforms: the payload is canonical
+    JSON (sorted keys, no whitespace) over plain dicts, hashed with
+    SHA-256.  Note the *expanded* config is hashed, not the scale
+    name — two scale presets that resolve to identical systems share
+    cache entries.
+    """
+    payload = {
+        "schema": CACHE_SCHEMA,
+        "code": code_fingerprint(),
+        "config": spec.build_config().to_dict(),
+        "workload": spec.workload,
+        "transactions": spec.transactions,
+        "seed": spec.seed,
+        "mix_seed": spec.effective_mix_seed(),
+        "scheduler": spec.scheduler,
+        "prefetcher": spec.prefetcher,
+        "team_size": spec.team_size,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class ResultCache:
+    """Disk cache of serialized :class:`RunResult`s under ``root``."""
+
+    def __init__(self, root: Path | str):
+        self.root = Path(root)
+
+    def path_for(self, key: str) -> Path:
+        """Sharded entry path for a key."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[RunResult]:
+        """The cached result for ``key``, or ``None`` on a miss.
+
+        A corrupt or schema-incompatible entry is removed and treated
+        as a miss rather than poisoning the run.
+        """
+        path = self.path_for(key)
+        try:
+            data = json.loads(path.read_text())
+            return RunResult.from_dict(data["result"])
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def put(self, key: str, result: RunResult,
+            spec: Optional[RunSpec] = None) -> Path:
+        """Atomically store ``result`` under ``key``.
+
+        The spec is stored alongside the result for debuggability
+        (entries are self-describing), but only the key is ever used
+        for lookup.
+        """
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "key": key,
+            "spec": spec.to_dict() if spec is not None else None,
+            "result": result.to_dict(),
+        }
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for path in self.root.glob("*/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

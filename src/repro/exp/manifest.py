@@ -1,0 +1,72 @@
+"""Append-only run manifest (JSONL).
+
+One line per completed run, recording the spec, its cache key, whether
+it was served from cache, wall time, which worker process executed it,
+and how many attempts it took.  The manifest is the audit trail of a
+sweep: ``benchmarks/out/.cache/manifest.jsonl`` answers "what did we
+run, where did the time go, and what hit the cache".
+
+Writes are a single ``write()`` of one ``\\n``-terminated line on a
+file opened in append mode, which POSIX keeps intact for lines well
+under ``PIPE_BUF`` — concurrent benchmark processes can share one
+manifest without interleaving partial lines.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class ManifestEntry:
+    """One manifest row."""
+
+    key: str
+    spec: dict
+    hit: bool
+    wall_s: float
+    worker: Optional[int] = None
+    attempts: int = 1
+
+    def to_json(self) -> str:
+        return json.dumps(dataclasses.asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "ManifestEntry":
+        return cls(**json.loads(line))
+
+
+class Manifest:
+    """Appends :class:`ManifestEntry` rows to a JSONL file."""
+
+    def __init__(self, path: Path | str):
+        self.path = Path(path)
+
+    def record(self, entry: ManifestEntry) -> None:
+        """Append one row (creates parent directories on first use)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a") as handle:
+            handle.write(entry.to_json() + "\n")
+
+    def read(self) -> List[ManifestEntry]:
+        """All rows recorded so far (empty if the file doesn't exist).
+
+        A trailing partial line (killed writer) is skipped rather than
+        raised on.
+        """
+        if not self.path.exists():
+            return []
+        entries = []
+        for line in self.path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entries.append(ManifestEntry.from_json(line))
+            except (json.JSONDecodeError, TypeError):
+                continue
+        return entries

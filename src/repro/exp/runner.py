@@ -1,0 +1,275 @@
+"""Parallel experiment runner.
+
+:class:`Runner` fans a list of :class:`~repro.exp.spec.RunSpec`s out
+over a ``ProcessPoolExecutor``, with:
+
+* **cache short-circuit** — runs whose key is already in the
+  :class:`~repro.exp.cache.ResultCache` never reach a worker;
+* **per-run timeout** — enforced *inside* the worker process with a
+  real-time interval timer (``SIGALRM``), so a wedged simulation is
+  interrupted rather than merely abandoned;
+* **bounded retry** — transient failures (a killed worker, a broken
+  pool, a timeout) are retried up to ``retries`` times; deterministic
+  errors (e.g. a ``ValueError`` from the simulator) fail fast;
+* **deterministic ordering** — results are returned positionally
+  aligned with the submitted specs regardless of completion order.
+
+``jobs <= 1`` runs everything in-process (no pool), which is also the
+fallback the benchmarks use by default so a plain ``pytest`` invocation
+stays single-process.  Parallel and serial execution produce identical
+results: each run re-derives everything from its spec's seeds.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.exp.cache import ResultCache, spec_key
+from repro.exp.manifest import Manifest, ManifestEntry
+from repro.exp.spec import RunSpec, SweepSpec
+from repro.sim.api import simulate
+from repro.sim.results import RunResult
+from repro.workloads import make_workload
+
+
+class SimTimeoutError(RuntimeError):
+    """A run exceeded its per-run wall-clock budget."""
+
+
+class RunError(RuntimeError):
+    """A run failed permanently (retries exhausted or deterministic).
+
+    Attributes:
+        spec: the failing :class:`RunSpec`.
+        attempts: how many times it was attempted.
+    """
+
+    def __init__(self, spec: RunSpec, attempts: int, cause: BaseException):
+        super().__init__(
+            f"run {spec.describe()} failed after {attempts} "
+            f"attempt(s): {cause!r}"
+        )
+        self.spec = spec
+        self.attempts = attempts
+
+
+def execute_spec(spec: RunSpec) -> RunResult:
+    """Execute one spec end to end (config, workload, traces, sim)."""
+    config = spec.build_config()
+    workload = make_workload(spec.workload, config.l1i_blocks, spec.seed)
+    traces = workload.generate_mix(
+        spec.transactions, seed=spec.effective_mix_seed())
+    return simulate(
+        config,
+        traces,
+        spec.scheduler,
+        workload.name,
+        prefetcher=spec.prefetcher,
+        team_size=spec.team_size,
+    )
+
+
+def _worker_run(spec: RunSpec, timeout: Optional[float]):
+    """Worker entry point: run one spec under an optional alarm.
+
+    Returns ``(result_dict, worker_pid, wall_seconds)``.  The result
+    crosses the process boundary as a plain dict, which doubles as the
+    cache's serialized form.
+    """
+    start = time.perf_counter()
+    use_alarm = timeout is not None and hasattr(signal, "SIGALRM")
+    if use_alarm:
+        def _on_alarm(signum, frame):
+            raise SimTimeoutError(
+                f"run exceeded {timeout:.3f}s: {spec.describe()}")
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        result = execute_spec(spec)
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, previous)
+    return result.to_dict(), os.getpid(), time.perf_counter() - start
+
+
+#: Failures worth retrying: a worker died, the pool broke, a run timed
+#: out, or the OS hiccuped.  Anything else is assumed deterministic
+#: (the simulator is a pure function of the spec) and fails fast.
+_RETRYABLE = (BrokenProcessPool, SimTimeoutError, OSError, EOFError)
+
+
+class Runner:
+    """Executes specs with caching, parallelism, timeout, and retry.
+
+    Args:
+        jobs: worker processes; ``<= 1`` runs in-process.
+        cache: result cache, or ``None`` to disable caching entirely.
+        manifest: run manifest, or ``None`` to skip manifest logging.
+            Defaults to ``manifest.jsonl`` inside the cache root.
+        timeout: per-run wall-clock budget in seconds (``None`` = no
+            limit).
+        retries: extra attempts after a *transient* failure.
+
+    After each :meth:`run`, :attr:`hits` / :attr:`misses` hold the
+    cache tally and :attr:`entries` the manifest rows of that sweep.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        manifest: Optional[Manifest] = None,
+        timeout: Optional[float] = None,
+        retries: int = 2,
+    ):
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.jobs = max(1, int(jobs))
+        self.cache = cache
+        if manifest is None and cache is not None:
+            manifest = Manifest(cache.root / "manifest.jsonl")
+        self.manifest = manifest
+        self.timeout = timeout
+        self.retries = retries
+        self.hits = 0
+        self.misses = 0
+        self.entries: List[ManifestEntry] = []
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self, specs: Union[SweepSpec, Iterable[RunSpec]]
+            ) -> List[RunResult]:
+        """Run every spec; results align positionally with the specs.
+
+        A :class:`SweepSpec` is expanded first (its deterministic
+        order *is* the result order).
+        """
+        if isinstance(specs, SweepSpec):
+            specs = specs.expand()
+        specs = list(specs)
+        self.hits = 0
+        self.misses = 0
+        self.entries = []
+
+        keys = [spec_key(spec) for spec in specs]
+        results: List[Optional[RunResult]] = [None] * len(specs)
+        pending: List[int] = []
+        for idx, spec in enumerate(specs):
+            cached = self.cache.get(keys[idx]) if self.cache else None
+            if cached is not None:
+                results[idx] = cached
+                self._record(idx, spec, keys[idx], hit=True, wall=0.0,
+                             worker=None, attempts=0)
+            else:
+                pending.append(idx)
+
+        if pending:
+            if self.jobs <= 1 or len(pending) == 1:
+                self._run_serial(specs, keys, pending, results)
+            else:
+                self._run_parallel(specs, keys, pending, results)
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Execution strategies
+    # ------------------------------------------------------------------
+    def _run_serial(self, specs, keys, pending, results) -> None:
+        for idx in pending:
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    payload, worker, wall = _worker_run(
+                        specs[idx], self.timeout)
+                except Exception as exc:
+                    self._check_attempt(specs[idx], attempts, exc)
+                    continue
+                break
+            self._complete(idx, specs, keys, results, payload, wall,
+                           worker, attempts)
+
+    def _run_parallel(self, specs, keys, pending, results) -> None:
+        attempts: Dict[int, int] = {idx: 0 for idx in pending}
+        futures = {}
+        try:
+            for idx in pending:
+                futures[self._submit(specs[idx])] = idx
+            while futures:
+                done, _ = wait(list(futures), return_when=FIRST_COMPLETED)
+                for future in done:
+                    idx = futures.pop(future)
+                    attempts[idx] += 1
+                    try:
+                        payload, worker, wall = future.result()
+                    except Exception as exc:
+                        self._check_attempt(specs[idx], attempts[idx], exc)
+                        futures[self._submit(specs[idx])] = idx
+                        continue
+                    self._complete(idx, specs, keys, results, payload,
+                                   wall, worker, attempts[idx])
+        finally:
+            self._shutdown_pool()
+
+    def _submit(self, spec: RunSpec):
+        """Submit to the pool, replacing it once if it has broken."""
+        for _ in range(2):
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+            try:
+                return self._pool.submit(_worker_run, spec, self.timeout)
+            except BrokenProcessPool:
+                self._shutdown_pool()
+        raise RunError(spec, 0, BrokenProcessPool(
+            "worker pool broke twice during submission"))
+
+    def _shutdown_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def _check_attempt(self, spec: RunSpec, attempts: int,
+                       exc: BaseException) -> None:
+        """Raise :class:`RunError` unless another retry is allowed."""
+        retryable = isinstance(exc, _RETRYABLE)
+        if not retryable or attempts > self.retries:
+            raise RunError(spec, attempts, exc) from exc
+        if isinstance(exc, BrokenProcessPool):
+            self._shutdown_pool()
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+    def _complete(self, idx, specs, keys, results, payload, wall,
+                  worker, attempts) -> None:
+        result = RunResult.from_dict(payload)
+        results[idx] = result
+        if self.cache is not None:
+            self.cache.put(keys[idx], result, specs[idx])
+        self._record(idx, specs[idx], keys[idx], hit=False, wall=wall,
+                     worker=worker, attempts=attempts)
+
+    def _record(self, idx, spec, key, hit, wall, worker,
+                attempts) -> None:
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+        entry = ManifestEntry(
+            key=key,
+            spec=spec.to_dict(),
+            hit=hit,
+            wall_s=round(wall, 6),
+            worker=worker,
+            attempts=attempts,
+        )
+        self.entries.append(entry)
+        if self.manifest is not None:
+            self.manifest.record(entry)

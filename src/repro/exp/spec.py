@@ -1,0 +1,200 @@
+"""Declarative experiment specifications.
+
+A :class:`RunSpec` names one simulation completely: the workload and
+its generation seeds, the system scale and core count, the scheduler /
+prefetcher pair, and the STREX team size.  It is a frozen dataclass so
+it can be hashed, pickled across process boundaries, and serialized
+into the run manifest.
+
+A :class:`SweepSpec` is a grid over those axes; :meth:`SweepSpec.expand`
+flattens it into a deterministically-ordered list of ``RunSpec``s
+(workload-major, seeds innermost), which is the order the
+:class:`~repro.exp.runner.Runner` reports results in regardless of
+which worker finishes first.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from itertools import product
+from typing import List, Optional, Sequence, Tuple
+
+from repro.config import SCALES, SystemConfig
+from repro.sim.api import PREFETCHERS, SCHEDULERS
+from repro.workloads import WORKLOADS
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully-specified simulation run.
+
+    Attributes:
+        workload: registered workload name (see
+            :data:`repro.workloads.WORKLOADS`).
+        scheduler: scheduler name (see :data:`repro.sim.api.SCHEDULERS`).
+        prefetcher: instruction-prefetcher name (``none`` disables).
+        cores: simulated core count.
+        transactions: number of transactions in the generated batch.
+        seed: workload construction seed (database + code layout RNG).
+        mix_seed: seed for drawing the transaction mix; defaults to
+            ``seed`` when ``None``.
+        team_size: STREX team-size override (``strex``/``hybrid`` only).
+        scale: system preset name (see :data:`repro.config.SCALES`).
+        replacement: optional L1 replacement-policy override (Fig. 9).
+    """
+
+    workload: str
+    scheduler: str = "base"
+    prefetcher: str = "none"
+    cores: int = 4
+    transactions: int = 40
+    seed: int = 1013
+    mix_seed: Optional[int] = None
+    team_size: Optional[int] = None
+    scale: str = "default"
+    replacement: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.workload not in WORKLOADS:
+            raise ValueError(
+                f"unknown workload {self.workload!r}; "
+                f"choose from {sorted(WORKLOADS)}"
+            )
+        if self.scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r}; "
+                f"choose from {sorted(SCHEDULERS)}"
+            )
+        if self.prefetcher not in PREFETCHERS:
+            raise ValueError(
+                f"unknown prefetcher {self.prefetcher!r}; "
+                f"choose from {sorted(PREFETCHERS)}"
+            )
+        if self.scale not in SCALES:
+            raise ValueError(
+                f"unknown scale {self.scale!r}; "
+                f"choose from {sorted(SCALES)}"
+            )
+        if self.cores <= 0:
+            raise ValueError("cores must be positive")
+        if self.transactions <= 0:
+            raise ValueError("transactions must be positive")
+        if self.team_size is not None and \
+                self.scheduler not in ("strex", "hybrid"):
+            raise ValueError(
+                f"team_size only applies to the 'strex' and 'hybrid' "
+                f"schedulers, not {self.scheduler!r}"
+            )
+
+    def build_config(self) -> SystemConfig:
+        """The :class:`SystemConfig` this spec simulates."""
+        config = SCALES[self.scale](num_cores=self.cores)
+        if self.replacement is not None:
+            config = config.with_l1_replacement(self.replacement)
+        return config
+
+    def effective_mix_seed(self) -> int:
+        """The seed actually passed to ``generate_mix``."""
+        return self.seed if self.mix_seed is None else self.mix_seed
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (manifest rows, worker payloads)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown RunSpec keys: {sorted(unknown)}")
+        return cls(**data)
+
+    def describe(self) -> str:
+        """Compact one-line label for logs and progress output."""
+        parts = [self.workload, self.scheduler]
+        if self.prefetcher != "none":
+            parts.append(f"+{self.prefetcher}")
+        parts.append(f"{self.cores}c")
+        if self.team_size is not None:
+            parts.append(f"{self.team_size}T")
+        if self.replacement is not None:
+            parts.append(self.replacement)
+        parts.append(f"seed={self.seed}")
+        return "/".join(parts)
+
+
+def _tuple(values: Sequence) -> Tuple:
+    if isinstance(values, (str, bytes)):
+        raise TypeError(f"expected a sequence of values, got {values!r}")
+    return tuple(values)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A grid of runs: the cross product of every axis below.
+
+    ``transactions`` and ``mix_seed`` are shared by every cell; all
+    other axes are sequences.  Axis values are validated eagerly on
+    expansion (each cell is a validated :class:`RunSpec`).
+    """
+
+    workloads: Tuple[str, ...]
+    schedulers: Tuple[str, ...] = ("base",)
+    prefetchers: Tuple[str, ...] = ("none",)
+    cores: Tuple[int, ...] = (4,)
+    team_sizes: Tuple[Optional[int], ...] = (None,)
+    seeds: Tuple[int, ...] = (1013,)
+    scales: Tuple[str, ...] = ("default",)
+    transactions: int = 40
+    mix_seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for axis in ("workloads", "schedulers", "prefetchers", "cores",
+                     "team_sizes", "seeds", "scales"):
+            object.__setattr__(self, axis, _tuple(getattr(self, axis)))
+            if not getattr(self, axis):
+                raise ValueError(f"sweep axis {axis!r} is empty")
+
+    def __len__(self) -> int:
+        return len(self.expand())
+
+    def expand(self) -> List[RunSpec]:
+        """Flatten the grid into a deterministically-ordered run list.
+
+        Order: workload-major, then scale, cores, scheduler,
+        prefetcher, team size, and seed innermost — i.e. the natural
+        nested-loop order of the field declarations.  The order is a
+        stable contract: the runner returns results positionally
+        aligned with it.
+
+        The ``team_sizes`` axis only applies to schedulers that take a
+        team size (``strex``/``hybrid``); for the rest it collapses to
+        ``None`` and the resulting duplicate cells are dropped, so a
+        grid like ``schedulers=(base, strex), team_sizes=(2, 8)``
+        yields one ``base`` run and two ``strex`` runs per cell.
+        """
+        specs: List[RunSpec] = []
+        seen = set()
+        for (workload, scale, cores, scheduler, prefetcher, team_size,
+             seed) in product(self.workloads, self.scales, self.cores,
+                              self.schedulers, self.prefetchers,
+                              self.team_sizes, self.seeds):
+            if scheduler not in ("strex", "hybrid"):
+                team_size = None
+            spec = RunSpec(
+                workload=workload,
+                scheduler=scheduler,
+                prefetcher=prefetcher,
+                cores=cores,
+                transactions=self.transactions,
+                seed=seed,
+                mix_seed=self.mix_seed,
+                team_size=team_size,
+                scale=scale,
+            )
+            if spec not in seen:
+                seen.add(spec)
+                specs.append(spec)
+        return specs

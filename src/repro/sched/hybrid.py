@@ -30,7 +30,8 @@ class HybridScheduler:
 
     name = "hybrid"
 
-    def __init__(self, engine, fptable: Optional[FPTable] = None):
+    def __init__(self, engine, fptable: Optional[FPTable] = None,
+                 team_size: Optional[int] = None):
         self.engine = engine
         config = engine.config
         traces = [t.trace for t in engine.threads]
@@ -39,9 +40,11 @@ class HybridScheduler:
         self.use_slicc = (
             config.num_cores + config.hybrid.slack_units >= threshold
         )
+        # team_size only shapes the STREX branch; SLICC sizes its own
+        # teams from SliccConfig.team_factor.
         self.delegate = (
             SliccScheduler(engine) if self.use_slicc
-            else StrexScheduler(engine)
+            else StrexScheduler(engine, team_size=team_size)
         )
         self.decision = self.delegate.name
 

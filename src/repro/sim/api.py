@@ -55,6 +55,10 @@ def simulate(
         workload_name: label recorded in the result.
         prefetcher: one of ``none``, ``nextline``, ``pif``, ``tifs``.
         team_size: optional STREX team-size override (Fig. 7/8 sweeps).
+            Only meaningful for the ``strex`` and ``hybrid`` schedulers
+            (the hybrid forwards it to its STREX delegate); passing it
+            with any other scheduler raises :class:`ValueError` rather
+            than silently ignoring it.
 
     Returns:
         The run's :class:`RunResult`.
@@ -74,9 +78,18 @@ def simulate(
             f"choose from {sorted(PREFETCHERS)}"
         ) from None
 
+    if team_size is not None and scheduler not in ("strex", "hybrid"):
+        raise ValueError(
+            f"team_size only applies to the 'strex' and 'hybrid' "
+            f"schedulers, not {scheduler!r}"
+        )
+
     if scheduler == "strex" and team_size is not None:
         def scheduler_factory(engine):
             return StrexScheduler(engine, team_size=team_size)
+    elif scheduler == "hybrid" and team_size is not None:
+        def scheduler_factory(engine):
+            return HybridScheduler(engine, team_size=team_size)
     else:
         scheduler_factory = scheduler_cls
 

@@ -8,6 +8,7 @@ comparisons across schedulers/core counts are plain arithmetic on these.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List
 
@@ -74,6 +75,22 @@ class RunResult:
         if not self.latencies:
             return 0.0
         return sum(self.latencies) / len(self.latencies)
+
+    def to_dict(self) -> dict:
+        """Plain-dict form; JSON-serializable (every field is scalar,
+        a list of ints, or a str->float map).  Round-trips through
+        :meth:`from_dict` bit-identically, which the `repro.exp` result
+        cache relies on."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown RunResult keys: {sorted(unknown)}")
+        return cls(**data)
 
     def summary(self) -> str:
         """One-line human-readable summary."""

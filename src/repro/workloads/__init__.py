@@ -1,9 +1,39 @@
-"""Workload suites: TPC-C, TPC-E and the MapReduce control."""
+"""Workload suites: TPC-C, TPC-E and the MapReduce control.
+
+:data:`WORKLOADS` is the canonical name registry used by the CLI and
+the `repro.exp` experiment runner; :func:`make_workload` instantiates a
+suite by name for a given code-layout granularity and seed.
+"""
+
+from typing import Callable, Dict
 
 from repro.workloads.base import TransactionTypeSpec, TxnContext, Workload
 from repro.workloads.mapreduce import MapReduceWorkload
 from repro.workloads.tpcc import TpccWorkload
 from repro.workloads.tpce import TpceWorkload
+
+#: Registered workload factories: name -> factory(blocks_per_unit, seed).
+WORKLOADS: Dict[str, Callable[[int, int], Workload]] = {
+    "tpcc": lambda blocks, seed: TpccWorkload(
+        blocks, warehouses=1, seed=seed),
+    "tpcc10": lambda blocks, seed: TpccWorkload(
+        blocks, warehouses=10, seed=seed),
+    "tpce": lambda blocks, seed: TpceWorkload(blocks, seed=seed),
+    "mapreduce": lambda blocks, seed: MapReduceWorkload(blocks, seed=seed),
+}
+
+
+def make_workload(name: str, blocks_per_unit: int,
+                  seed: int = 1013) -> Workload:
+    """Instantiate a registered workload suite by name."""
+    try:
+        factory = WORKLOADS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; choose from {sorted(WORKLOADS)}"
+        ) from None
+    return factory(blocks_per_unit, seed)
+
 
 __all__ = [
     "TransactionTypeSpec",
@@ -12,4 +42,6 @@ __all__ = [
     "MapReduceWorkload",
     "TpccWorkload",
     "TpceWorkload",
+    "WORKLOADS",
+    "make_workload",
 ]

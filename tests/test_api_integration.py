@@ -28,10 +28,45 @@ class TestApi:
         with pytest.raises(ValueError, match="unknown scheduler"):
             simulate(tiny_scale(), traces, "fancy")
 
+    def test_unknown_scheduler_message_lists_choices(self, tiny_tpcc):
+        traces = tiny_tpcc.generate_mix(2, seed=73)
+        with pytest.raises(ValueError) as excinfo:
+            simulate(tiny_scale(), traces, "fancy")
+        message = str(excinfo.value)
+        for name in SCHEDULERS:
+            assert name in message
+
     def test_unknown_prefetcher_rejected(self, tiny_tpcc):
         traces = tiny_tpcc.generate_mix(2, seed=74)
         with pytest.raises(ValueError, match="unknown prefetcher"):
             simulate(tiny_scale(), traces, "base", prefetcher="magic")
+
+    def test_unknown_prefetcher_message_lists_choices(self, tiny_tpcc):
+        traces = tiny_tpcc.generate_mix(2, seed=74)
+        with pytest.raises(ValueError) as excinfo:
+            simulate(tiny_scale(), traces, "base", prefetcher="magic")
+        message = str(excinfo.value)
+        for name in PREFETCHERS:
+            assert name in message
+
+    def test_team_size_rejected_for_non_team_scheduler(self, tiny_tpcc):
+        """team_size used to be silently ignored for e.g. 'base'."""
+        traces = tiny_tpcc.generate_mix(2, seed=78)
+        for scheduler in ("base", "slicc", "smt"):
+            with pytest.raises(ValueError, match="team_size"):
+                simulate(tiny_scale(), traces, scheduler, team_size=4)
+
+    def test_team_size_threads_through_hybrid(self, tiny_tpcc):
+        """On a small system the hybrid picks STREX, so the team-size
+        override must change behaviour just as it does for 'strex'."""
+        traces = tiny_tpcc.generate_uniform("Payment", 8, seed=79)
+        config = tiny_scale(num_cores=1)
+        small = simulate(config, traces, "hybrid", team_size=2)
+        large = simulate(config, traces, "hybrid", team_size=8)
+        strex_small = simulate(config, traces, "strex", team_size=2)
+        assert small.transactions == large.transactions == 8
+        assert large.mean_latency > small.mean_latency
+        assert small.cycles == strex_small.cycles
 
     def test_team_size_override(self, tiny_tpcc):
         traces = tiny_tpcc.generate_uniform("Payment", 8, seed=75)

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.__main__ import build_parser, main, run_single
+from repro.__main__ import (
+    build_parser,
+    build_sweep_parser,
+    main,
+    run_single,
+)
 
 
 class TestParser:
@@ -55,3 +60,78 @@ class TestExecution:
             "--cores", "2", "--transactions", "8", "--seed", "5",
         ])
         assert code == 0
+
+    def test_team_size_with_wrong_scheduler_is_clean_error(self, capsys):
+        code = main([
+            "--workload", "tpcc", "--scheduler", "smt",
+            "--team-size", "4", "--cores", "2", "--transactions", "4",
+        ])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("error: --team-size")
+        assert "smt" in captured.err
+
+    def test_team_size_with_base_is_clean_error(self, capsys):
+        # ``base`` short-circuits the second simulate() call, so the
+        # CLI must validate --team-size before that shortcut.
+        code = main([
+            "--workload", "tpcc", "--scheduler", "base",
+            "--team-size", "4", "--cores", "2", "--transactions", "4",
+        ])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "base" in captured.err
+
+    def test_core_sweep_flag(self, capsys):
+        code = main([
+            "--workload", "mapreduce", "--sweep",
+            "--transactions", "4", "--seed", "5",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        for token in ("cores", "strex", "slicc", "hybrid", "16"):
+            assert token in out
+
+
+class TestSweepSubcommand:
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_sweep_parser().parse_args(["--workloads", "tpch"])
+
+    def test_sweep_runs_and_reports_cache_stats(self, capsys, tmp_path):
+        argv = [
+            "sweep", "--workloads", "tpcc", "--schedulers", "base",
+            "strex", "--cores", "2", "--transactions", "4",
+            "--scales", "tiny", "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "0 cache hits, 2 executed" in out
+        assert "I-MPKI" in out
+        # Second invocation is served entirely from the cache.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "2 cache hits, 0 executed" in out
+        assert (tmp_path / "manifest.jsonl").exists()
+
+    def test_sweep_no_cache(self, capsys, tmp_path):
+        argv = [
+            "sweep", "--workloads", "mapreduce", "--schedulers", "base",
+            "--cores", "2", "--transactions", "4", "--scales", "tiny",
+            "--cache-dir", str(tmp_path), "--no-cache",
+        ]
+        assert main(argv) == 0
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "0 cache hits, 1 executed" in out
+        assert not (tmp_path / "manifest.jsonl").exists()
+
+    def test_sweep_team_sizes(self, capsys, tmp_path):
+        assert main([
+            "sweep", "--workloads", "tpcc", "--schedulers", "strex",
+            "--team-sizes", "2", "4", "--cores", "2",
+            "--transactions", "4", "--scales", "tiny",
+            "--cache-dir", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "2 runs" in out

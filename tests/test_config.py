@@ -99,3 +99,47 @@ class TestSystemConfig:
 
     def test_seed_default(self):
         assert default_scale().seed == 1013
+
+
+class TestSerialization:
+    def test_roundtrip_default(self):
+        config = default_scale(num_cores=8)
+        assert SystemConfig.from_dict(config.to_dict()) == config
+
+    def test_roundtrip_preserves_overrides(self):
+        config = paper_scale(num_cores=16) \
+            .with_strex(team_size=20, phase_bits=6) \
+            .with_l1_replacement("brrip")
+        rebuilt = SystemConfig.from_dict(config.to_dict())
+        assert rebuilt == config
+        assert rebuilt.strex.team_size == 20
+        assert rebuilt.l1d.replacement == "brrip"
+
+    def test_roundtrip_through_json(self):
+        import json
+
+        config = tiny_scale()
+        blob = json.dumps(config.to_dict(), sort_keys=True)
+        assert SystemConfig.from_dict(json.loads(blob)) == config
+
+    def test_to_dict_is_canonical(self):
+        """Equal configs serialize identically — the cache-key
+        contract of repro.exp."""
+        assert default_scale(num_cores=4).to_dict() == \
+            default_scale(num_cores=4).to_dict()
+
+    def test_from_dict_rejects_unknown_keys(self):
+        data = default_scale().to_dict()
+        data["turbo"] = True
+        with pytest.raises(ValueError, match="unknown SystemConfig"):
+            SystemConfig.from_dict(data)
+
+    def test_from_dict_defaults_missing_keys(self):
+        rebuilt = SystemConfig.from_dict({"num_cores": 6})
+        assert rebuilt == SystemConfig(num_cores=6)
+
+    def test_scales_registry(self):
+        from repro.config import SCALES
+
+        assert set(SCALES) == {"paper", "default", "tiny"}
+        assert SCALES["default"]() == default_scale()

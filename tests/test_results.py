@@ -75,3 +75,23 @@ class TestSummary:
         text = make_result().summary()
         for token in ("w", "s", "cores=4", "I-MPKI"):
             assert token in text
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        result = make_result(latencies=[100, 300],
+                             extra={"prefetch_coverage": 0.5})
+        assert RunResult.from_dict(result.to_dict()) == result
+
+    def test_roundtrip_through_json(self):
+        import json
+
+        result = make_result(latencies=[1, 2, 3])
+        blob = json.dumps(result.to_dict())
+        assert RunResult.from_dict(json.loads(blob)) == result
+
+    def test_from_dict_rejects_unknown_keys(self):
+        data = make_result().to_dict()
+        data["joules"] = 9.0
+        with pytest.raises(ValueError, match="unknown RunResult"):
+            RunResult.from_dict(data)
