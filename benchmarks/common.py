@@ -5,8 +5,22 @@ Every benchmark regenerates one table or figure of the paper at the
 Table 3, see DESIGN.md).  Each writes a text report to
 ``benchmarks/out/`` and asserts the paper's qualitative shape.
 
-Set ``REPRO_BENCH_TXNS_PER_CORE`` to trade accuracy for runtime
-(default 10 transactions per core).
+All simulation grids route through :func:`run_grid` — the ``repro.exp``
+runner with its content-addressed cache — so a warm rerun of the whole
+suite is served almost entirely from ``benchmarks/out/.cache`` (see
+``python -m repro manifest`` for the audit trail).
+
+Environment knobs:
+
+* ``REPRO_BENCH_TXNS_PER_CORE`` — trade accuracy for runtime
+  (default 10 transactions per core).
+* ``REPRO_BENCH_JOBS`` — worker processes for grids (0 = in-process).
+* ``REPRO_BENCH_CACHE=0`` — force every benchmark to re-simulate.
+* ``REPRO_BENCH_SCALE`` — system preset for every bench (default
+  ``default``).  ``tiny`` is the CI smoke setting: it exercises the
+  full orchestration/caching path in seconds, but the paper's shape
+  assertions are calibrated at ``default`` scale, so benches gate them
+  on :data:`PAPER_SHAPES`.
 """
 
 from __future__ import annotations
@@ -16,9 +30,8 @@ import tempfile
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
-from repro.config import SystemConfig, default_scale
-from repro.exp import ResultCache, Runner, RunSpec
-from repro.sim.results import RunResult
+from repro.config import SCALES, SystemConfig
+from repro.exp import ResultCache, Runner, RunSpec, SweepSpec
 from repro.trace.trace import TransactionTrace
 from repro.workloads.mapreduce import MapReduceWorkload
 from repro.workloads.tpcc import TpccWorkload
@@ -42,6 +55,19 @@ BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "0"))
 #: Set REPRO_BENCH_CACHE=0 to force every benchmark to re-simulate.
 BENCH_CACHE = os.environ.get("REPRO_BENCH_CACHE", "1") != "0"
 
+#: System preset every bench runs at (see module docstring).
+BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "default")
+if BENCH_SCALE not in SCALES:
+    raise ValueError(
+        f"REPRO_BENCH_SCALE={BENCH_SCALE!r} is not a preset; "
+        f"choose from {sorted(SCALES)}"
+    )
+
+#: The paper's quantitative shape checks only hold at the calibrated
+#: ``default`` scale; at other scales benches still run (and cache)
+#: every grid but skip those assertions.
+PAPER_SHAPES = BENCH_SCALE == "default"
+
 #: Master seed for all benchmark workloads.
 SEED = 20130623  # ISCA'13
 
@@ -56,7 +82,7 @@ WORKLOAD_KEYS = {
 
 def config_for(cores: int) -> SystemConfig:
     """The benchmark system at a given core count."""
-    return default_scale(num_cores=cores)
+    return SCALES[BENCH_SCALE](num_cores=cores)
 
 
 def txn_count(cores: int) -> int:
@@ -69,7 +95,7 @@ def txn_count(cores: int) -> int:
 
 def make_workloads(which: List[str] | None = None) -> Dict[str, object]:
     """Build the paper's Table 1 workload suites."""
-    blocks = default_scale().l1i_blocks
+    blocks = config_for(4).l1i_blocks
     suites = {}
     wanted = which or ["TPC-C-1", "TPC-C-10", "TPC-E", "MapReduce"]
     if "TPC-C-1" in wanted:
@@ -116,30 +142,56 @@ def write_report(name: str, text: str) -> Path:
 def bench_spec(label: str, cores: int, scheduler: str = "base",
                prefetcher: str = "none",
                team_size: Optional[int] = None,
-               replacement: Optional[str] = None) -> RunSpec:
+               replacement: Optional[str] = None,
+               **extra) -> RunSpec:
     """A :class:`RunSpec` matching the classic benchmark setup.
 
     Reproduces exactly what the pre-``repro.exp`` benchmarks did by
-    hand: the ``default_scale`` system, workload seeded with
+    hand: the :data:`BENCH_SCALE` system, workload seeded with
     :data:`SEED`, and a batch of ``txn_count(cores)`` transactions
     drawn with mix seed ``SEED + 16`` (identical for every core count).
+    ``extra`` passes through to :class:`RunSpec` (modes, overrides,
+    ``txn_type``...).
     """
     return RunSpec(
         workload=WORKLOAD_KEYS[label],
         scheduler=scheduler,
         prefetcher=prefetcher,
         cores=cores,
-        transactions=txn_count(cores),
+        transactions=extra.pop("transactions", txn_count(cores)),
         seed=SEED,
-        mix_seed=SEED + 16,
+        mix_seed=extra.pop("mix_seed", SEED + 16),
         team_size=team_size,
-        scale="default",
+        scale=BENCH_SCALE,
         replacement=replacement,
+        **extra,
+    )
+
+
+def bench_sweep(labels: Sequence[str], **kwargs) -> SweepSpec:
+    """A :class:`SweepSpec` over benchmark workloads with the same
+    conventions as :func:`bench_spec` (seeds, scale, batch size).
+
+    ``cores`` (tuple) and any SweepSpec axis/override grid pass
+    through; ``transactions`` defaults to the shared benchmark batch
+    size so sweep cells share cache entries with :func:`bench_spec`
+    cells.
+    """
+    cores = kwargs.pop("cores", (4,))
+    batch = max(txn_count(c) for c in cores)
+    return SweepSpec(
+        workloads=tuple(WORKLOAD_KEYS[label] for label in labels),
+        cores=tuple(cores),
+        seeds=(SEED,),
+        scales=(BENCH_SCALE,),
+        transactions=kwargs.pop("transactions", batch),
+        mix_seed=kwargs.pop("mix_seed", SEED + 16),
+        **kwargs,
     )
 
 
 def run_grid(specs: Sequence[RunSpec], jobs: Optional[int] = None,
-             use_cache: Optional[bool] = None) -> List[RunResult]:
+             use_cache: Optional[bool] = None) -> List:
     """Run benchmark specs through the ``repro.exp`` runner.
 
     Results align positionally with ``specs``.  Parallelism defaults
@@ -154,8 +206,7 @@ def run_grid(specs: Sequence[RunSpec], jobs: Optional[int] = None,
     return runner.run(specs)
 
 
-def reduction(base: RunResult, other: RunResult,
-              metric: str = "i_mpki") -> float:
+def reduction(base, other, metric: str = "i_mpki") -> float:
     """Percent reduction of a metric relative to a baseline run."""
     before = getattr(base, metric)
     after = getattr(other, metric)

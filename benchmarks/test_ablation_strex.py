@@ -7,6 +7,12 @@ Swept knobs, on TPC-C at 8 cores:
 - phaseID tag width (the 8-bit PIDT entry of Table 4);
 - team-formation window (the 30-transaction pool of Section 4.3).
 
+Each knob is a declarative ``SweepSpec`` with a ``strex_overrides``
+grid — the override values are folded into the materialized config and
+therefore into the content-addressed cache key, so every ablation cell
+is cached and shared with any other sweep that lands on the same
+configuration.
+
 Shape checks:
 - STREX keeps beating the baseline even with a 4x context-switch cost;
 - disabling the progress floor inflates context switches dramatically;
@@ -18,39 +24,52 @@ Shape checks:
 
 from __future__ import annotations
 
-from common import config_for, make_workloads, traces_for, write_report
+from common import PAPER_SHAPES, bench_spec, bench_sweep, run_grid, \
+    write_report
 from repro.analysis.report import format_table
-from repro.sim.api import simulate
 
 CORES = 8
 
+#: knob -> swept values (defaults: ctx 120, floor auto, bits 8, win 30).
+ABLATION_GRIDS = {
+    "context_switch_cycles": (0, 480),
+    "min_progress_events": (0,),
+    "phase_bits": (2,),
+    "window": (1, 100),
+}
+
+
+def ablation_specs():
+    """(label, RunSpec) cells: baseline, default STREX, one declarative
+    sweep per ablation knob."""
+    cells = [
+        ("base", bench_spec("TPC-C-1", CORES)),
+        ("default", bench_spec("TPC-C-1", CORES, "strex")),
+    ]
+    for knob, values in ABLATION_GRIDS.items():
+        sweep = bench_sweep(
+            ["TPC-C-1"], cores=(CORES,), schedulers=("strex",),
+            strex_overrides={knob: values},
+        )
+        for spec in sweep.expand():
+            (name, value), = spec.strex_overrides
+            cells.append((f"{name}={value}", spec))
+    return cells
+
 
 def run_ablation():
-    workload = make_workloads(["TPC-C-1"])["TPC-C-1"]
-    traces = traces_for(workload, CORES)
-    base_config = config_for(CORES)
-    base = simulate(base_config, traces, "base", "TPC-C-1")
-
-    variants = {
-        "default": {},
-        "ctx_cost=0": {"context_switch_cycles": 0},
-        "ctx_cost=480": {"context_switch_cycles": 480},
-        "no_progress_floor": {"min_progress_events": 0},
-        "phase_bits=2": {"phase_bits": 2},
-        "window=1": {"window": 1},
-        "window=100": {"window": 100},
-    }
-    results = {}
-    for label, overrides in variants.items():
-        config = base_config.with_strex(**overrides) if overrides \
-            else base_config
-        run = simulate(config, traces, "strex", "TPC-C-1")
-        results[label] = {
+    cells = ablation_specs()
+    runs = run_grid([spec for _, spec in cells])
+    raw = {label: run for (label, _), run in zip(cells, runs)}
+    base = raw.pop("base")
+    return {
+        label: {
             "i_mpki": run.i_mpki,
             "rel_thr": run.relative_throughput(base),
             "ctx": run.context_switches,
         }
-    return results
+        for label, run in raw.items()
+    }
 
 
 def test_ablation_strex(benchmark):
@@ -64,12 +83,15 @@ def test_ablation_strex(benchmark):
     write_report("ablation_strex.txt", report)
     print("\n" + report)
 
+    if not PAPER_SHAPES:
+        return
     default = results["default"]
     # Robust to expensive context switches.
-    assert results["ctx_cost=480"]["rel_thr"] > 1.0
-    assert results["ctx_cost=0"]["rel_thr"] >= default["rel_thr"]
+    assert results["context_switch_cycles=480"]["rel_thr"] > 1.0
+    assert results["context_switch_cycles=0"]["rel_thr"] >= \
+        default["rel_thr"]
     # The progress floor is what keeps switch counts sane.
-    assert results["no_progress_floor"]["ctx"] > default["ctx"] * 2
+    assert results["min_progress_events=0"]["ctx"] > default["ctx"] * 2
     # Narrow tags still synchronize phases.
     assert results["phase_bits=2"]["i_mpki"] < default["i_mpki"] * 1.15
     # No window -> no teams -> benefit largely gone.

@@ -5,6 +5,10 @@ private L1-Is; every 100 instructions per core, each touched block's
 overlap (how many caches contain it) is bucketed into {1, <5, <10,
 >=10}.
 
+The experiment runs as ``RunSpec(mode="overlap")`` cells through
+``run_grid``, so the interval series are cached next to the simulation
+results (an ``OverlapResult`` per transaction type).
+
 Shape checks (Section 2.2):
 - more than 70% of the blocks touched during an interval appear in at
   least five caches;
@@ -14,33 +18,35 @@ Shape checks (Section 2.2):
 
 from __future__ import annotations
 
-from common import SEED, config_for, make_workloads, write_report
-from repro.analysis.overlap import BANDS, OverlapAnalysis, summarize
+from common import PAPER_SHAPES, SEED, bench_spec, run_grid, write_report
+from repro.analysis.overlap import BANDS
 from repro.analysis.report import format_table
+
+TXN_TYPES = ("NewOrder", "Payment")
+CONCURRENT = 16
 
 
 def run_fig2():
-    workload = make_workloads(["TPC-C-1"])["TPC-C-1"]
-    analysis = OverlapAnalysis(config_for(16), interval_instructions=100)
-    results = {}
-    for txn_type in ("NewOrder", "Payment"):
-        traces = workload.generate_uniform(txn_type, 16, seed=SEED)
-        intervals = analysis.run(traces)
-        early = summarize(intervals[: max(1, len(intervals) // 3)])
-        results[txn_type] = (intervals, summarize(intervals), early)
-    return results
+    specs = [
+        bench_spec("TPC-C-1", CONCURRENT, mode="overlap",
+                   txn_type=txn_type, transactions=CONCURRENT,
+                   mix_seed=SEED)
+        for txn_type in TXN_TYPES
+    ]
+    return dict(zip(TXN_TYPES, run_grid(specs)))
 
 
 def test_fig2_overlap(benchmark):
     results = benchmark.pedantic(run_fig2, rounds=1, iterations=1)
     rows = []
     series_lines = []
-    for txn_type, (intervals, summary, _early) in results.items():
+    for txn_type, overlap in results.items():
+        summary = overlap.summarize()
         rows.append([txn_type] + [round(summary[b], 3) for b in BANDS])
         series_lines.append(f"\n{txn_type} time series "
                             f"(K-instructions: band fractions):")
-        step = max(1, len(intervals) // 20)
-        for interval in intervals[::step]:
+        step = max(1, len(overlap.intervals) // 20)
+        for interval in overlap.intervals[::step]:
             bands = " ".join(
                 f"{band}={interval.fraction(band):.2f}" for band in BANDS
             )
@@ -51,7 +57,11 @@ def test_fig2_overlap(benchmark):
     write_report("fig2_overlap.txt", report)
     print("\n" + report)
 
-    for txn_type, (_, summary, early) in results.items():
+    if not PAPER_SHAPES:
+        return
+    for txn_type, overlap in results.items():
+        summary = overlap.summarize()
+        early = overlap.summarize_early()
         assert summary["five_or_more"] > 0.70, (txn_type, summary)
         # ">=10 most of the time": clearly true early, >=35% averaged
         # over the whole run (divergence grows toward the end, as the

@@ -1,8 +1,11 @@
 """Figure 4: I-MPKI with the optimal synchronization algorithm for
 identical transactions (CTX-Identical) versus the baseline.
 
-Ten randomly chosen instances per transaction type, each replicated ten
-times (a hypothetical 100-transaction workload), executed on one core.
+Random instances per transaction type, each replicated several times
+(the paper's hypothetical 100-transaction workload), executed on one
+core.  Each (type, scheduler) cell is a ``RunSpec(mode="identical")``
+run through ``run_grid``: the baseline executes the replicas back to
+back, the synchronized run time-multiplexes them as a STREX team.
 
 Shape check (Section 4.1.1): the synchronized execution reduces I-MPKI
 significantly for every TPC-C and TPC-E transaction type.
@@ -12,27 +15,33 @@ from __future__ import annotations
 
 import os
 
-from common import config_for, make_workloads, write_report
+from common import PAPER_SHAPES, SEED, bench_spec, make_workloads, \
+    run_grid, write_report
 from repro.analysis.report import format_table
-from repro.core.identical import compare_identical
 
 INSTANCES = int(os.environ.get("REPRO_BENCH_FIG4_INSTANCES", "6"))
 REPLICAS = int(os.environ.get("REPRO_BENCH_FIG4_REPLICAS", "6"))
+TEAM_SIZE = 10
 
 
 def run_fig4():
-    config = config_for(1)
     suites = make_workloads(["TPC-C-1", "TPC-E"])
-    results = {}
+    cells = []
     for label in ("TPC-C-1", "TPC-E"):
-        workload = suites[label]
-        for txn_type in workload.type_names():
-            base, sync = compare_identical(
-                workload, txn_type, config,
-                instances=INSTANCES, replicas=REPLICAS,
-            )
-            results[(label, txn_type)] = (base.i_mpki, sync.i_mpki)
-    return results
+        for txn_type in suites[label].type_names():
+            common = dict(mode="identical", txn_type=txn_type,
+                          transactions=INSTANCES, replicas=REPLICAS,
+                          mix_seed=SEED)
+            cells.append(((label, txn_type),
+                          bench_spec(label, 1, **common),
+                          bench_spec(label, 1, "strex",
+                                     team_size=TEAM_SIZE, **common)))
+    flat = [spec for _, base, sync in cells for spec in (base, sync)]
+    runs = iter(run_grid(flat))
+    return {
+        key: (next(runs).i_mpki, next(runs).i_mpki)
+        for key, _, _ in cells
+    }
 
 
 def test_fig4_identical(benchmark):
@@ -48,5 +57,7 @@ def test_fig4_identical(benchmark):
     write_report("fig4_identical.txt", report)
     print("\n" + report)
 
+    if not PAPER_SHAPES:
+        return
     for (suite, txn_type), (base, sync) in results.items():
         assert sync < base * 0.6, (suite, txn_type, base, sync)

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from common import (
     CORE_COUNTS,
+    PAPER_SHAPES,
     WORKLOAD_KEYS,
     bench_spec,
     reduction,
@@ -48,6 +49,8 @@ def test_fig5_mpki(benchmark):
                                          iterations=1)
     print("\n" + report)
 
+    if not PAPER_SHAPES:
+        return
     for name in ("TPC-C-1", "TPC-C-10", "TPC-E"):
         base_impki = [results[(name, c, "base")].i_mpki
                       for c in CORE_COUNTS]

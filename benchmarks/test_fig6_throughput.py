@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from common import (
     CORE_COUNTS,
+    PAPER_SHAPES,
     WORKLOAD_KEYS,
     bench_spec,
     run_grid,
@@ -65,6 +66,8 @@ def test_fig6_throughput(benchmark):
     write_report("fig6_throughput.txt", report)
     print("\n" + report)
 
+    if not PAPER_SHAPES:
+        return
     for name in ("TPC-C-1", "TPC-C-10", "TPC-E"):
         for cores in CORE_COUNTS:
             strex = relative[(name, cores, "strex")]

@@ -2,6 +2,10 @@
 team size (STREX-2T..20T) and of core count (SLICC-2..16), plus the
 baseline.
 
+All cells run through ``run_grid``; the baseline and STREX team-size
+runs are the *same* content-addressed cells Fig. 8 sweeps, so whichever
+bench runs first pays for them and the other is served from cache.
+
 Shape checks (Section 5.4):
 - larger STREX teams shift the distribution toward longer latencies
   (mean latency grows with team size beyond small teams);
@@ -10,9 +14,9 @@ Shape checks (Section 5.4):
 
 from __future__ import annotations
 
-from common import config_for, make_workloads, traces_for, write_report
-from repro.analysis.latency import LatencyDistribution, compare_distributions
-from repro.sim.api import simulate
+from common import PAPER_SHAPES, bench_spec, run_grid, write_report
+from repro.analysis.latency import LatencyDistribution, \
+    compare_distributions
 
 TEAM_SIZES = (2, 4, 6, 8, 10, 12, 16, 20)
 SLICC_CORES = (2, 4, 8, 16)
@@ -20,24 +24,22 @@ STREX_CORES = 16  # STREX latency is independent of the core count
 
 
 def run_fig7():
-    workload = make_workloads(["TPC-C-10"])["TPC-C-10"]
-    traces = traces_for(workload, STREX_CORES)
-    distributions = []
-
-    base = simulate(config_for(STREX_CORES), traces, "base", "TPC-C-10")
-    distributions.append(LatencyDistribution("Baseline", base.latencies))
-
-    for team_size in TEAM_SIZES:
-        run = simulate(config_for(STREX_CORES), traces, "strex",
-                       "TPC-C-10", team_size=team_size)
-        distributions.append(
-            LatencyDistribution(f"STREX-{team_size}T", run.latencies))
-
-    for cores in SLICC_CORES:
-        run = simulate(config_for(cores), traces, "slicc", "TPC-C-10")
-        distributions.append(
-            LatencyDistribution(f"SLICC-{cores}", run.latencies))
-    return distributions
+    cells = [("Baseline", bench_spec("TPC-C-10", STREX_CORES))]
+    cells += [
+        (f"STREX-{team_size}T",
+         bench_spec("TPC-C-10", STREX_CORES, "strex",
+                    team_size=team_size))
+        for team_size in TEAM_SIZES
+    ]
+    cells += [
+        (f"SLICC-{cores}", bench_spec("TPC-C-10", cores, "slicc"))
+        for cores in SLICC_CORES
+    ]
+    runs = run_grid([spec for _, spec in cells])
+    return [
+        LatencyDistribution(label, run.latencies)
+        for (label, _), run in zip(cells, runs)
+    ]
 
 
 def test_fig7_latency(benchmark):
@@ -46,6 +48,8 @@ def test_fig7_latency(benchmark):
     write_report("fig7_latency.txt", report)
     print("\n" + report)
 
+    if not PAPER_SHAPES:
+        return
     by_label = {d.label: d for d in distributions}
     # Larger teams -> longer mean latency (compare small vs large).
     assert by_label["STREX-20T"].mean_mcycles > \

@@ -9,7 +9,7 @@ Shape checks (Section 5.4):
 
 from __future__ import annotations
 
-from common import bench_spec, run_grid, write_report
+from common import PAPER_SHAPES, bench_spec, run_grid, write_report
 from repro.analysis.report import format_table
 
 TEAM_SIZES = (2, 4, 6, 8, 10, 12, 16, 20)
@@ -49,6 +49,8 @@ def test_fig8_teamsize(benchmark):
     write_report("fig8_teamsize.txt", report)
     print("\n" + report)
 
+    if not PAPER_SHAPES:
+        return
     for name in ("TPC-C-10", "TPC-E"):
         series = [results[(name, t)] for t in TEAM_SIZES]
         # All team sizes beat the baseline.

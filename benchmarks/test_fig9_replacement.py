@@ -12,7 +12,7 @@ Shape checks (Section 5.7):
 
 from __future__ import annotations
 
-from common import bench_spec, run_grid, write_report
+from common import PAPER_SHAPES, bench_spec, run_grid, write_report
 from repro.analysis.report import format_table
 
 STANDALONE = ("lru", "lip", "bip", "srrip", "brrip")
@@ -42,6 +42,8 @@ def test_fig9_replacement(benchmark):
     write_report("fig9_replacement.txt", report)
     print("\n" + report)
 
+    if not PAPER_SHAPES:
+        return
     for name in ("TPC-C-10", "TPC-E"):
         best_standalone = min(results[(name, "base", p)]
                               for p in STANDALONE)

@@ -4,7 +4,9 @@ The paper cites measurements that 2-way SMT increases L1 instruction
 misses (+15% TPC-C / +7% TPC-E) and data misses (+10% / +16%) because
 two transactions share each core's L1s.  This bench interleaves two
 contexts per core over the same L1s and checks the same direction and
-rough magnitude.
+rough magnitude.  Both cells per workload are ordinary ``run_grid``
+cells (the ``smt`` scheduler is registered like any other), so they
+cache and parallelize with the rest of the suite.
 
 (The paper leaves STREX-under-SMT for future work; the miss inflation
 here quantifies the locality loss STREX would have to win back.)
@@ -12,27 +14,22 @@ here quantifies the locality loss STREX would have to win back.)
 
 from __future__ import annotations
 
-from common import config_for, make_workloads, traces_for, write_report
+from common import PAPER_SHAPES, bench_spec, run_grid, write_report
 from repro.analysis.report import format_table
-from repro.sched.smt import SmtBaselineScheduler
-from repro.sim.engine import SimulationEngine
-from repro.sim.api import simulate
 
 CORES = 4
+WORKLOADS = ("TPC-C-1", "TPC-E")
 
 
 def run_smt():
-    suites = make_workloads(["TPC-C-1", "TPC-E"])
-    results = {}
-    for name, workload in suites.items():
-        traces = traces_for(workload)
-        config = config_for(CORES)
-        base = simulate(config, traces, "base", name)
-        smt_engine = SimulationEngine(config, traces,
-                                      SmtBaselineScheduler)
-        smt = smt_engine.run(name)
-        results[name] = (base, smt)
-    return results
+    cells = [(label, scheduler)
+             for label in WORKLOADS
+             for scheduler in ("base", "smt")]
+    runs = run_grid([bench_spec(label, CORES, scheduler)
+                     for label, scheduler in cells])
+    raw = dict(zip(cells, runs))
+    return {label: (raw[(label, "base")], raw[(label, "smt")])
+            for label in WORKLOADS}
 
 
 def test_future_smt(benchmark):
@@ -50,6 +47,8 @@ def test_future_smt(benchmark):
     write_report("future_smt.txt", report)
     print("\n" + report)
 
+    if not PAPER_SHAPES:
+        return
     for name, (base, smt) in results.items():
         # Paper: +10..16% data misses; reproduced in direction.
         assert smt.d_mpki > base.d_mpki, name

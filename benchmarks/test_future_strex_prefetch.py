@@ -5,7 +5,8 @@ The paper conjectures: "STREX can avoid many of the misses that PIF has
 to incur... PIF could reduce execution time for the lead transaction,
 thus improving performance when used in conjunction with STREX.  An
 investigation of a possible combination of the two techniques is left
-for future work."  This bench runs that investigation in our framework.
+for future work."  This bench runs that investigation in our framework,
+as a scheduler × prefetcher grid through ``run_grid``.
 
 Shape checks:
 - STREX+PIF outperforms STREX alone (the lead's misses are covered);
@@ -17,9 +18,8 @@ Shape checks:
 
 from __future__ import annotations
 
-from common import config_for, make_workloads, traces_for, write_report
+from common import PAPER_SHAPES, bench_spec, run_grid, write_report
 from repro.analysis.report import format_table
-from repro.sim.api import simulate
 
 CORES = 8
 
@@ -33,14 +33,12 @@ COMBOS = (
 
 
 def run_future():
-    workload = make_workloads(["TPC-C-1"])["TPC-C-1"]
-    traces = traces_for(workload, CORES)
-    config = config_for(CORES)
-    results = {}
-    for label, scheduler, prefetcher in COMBOS:
-        results[label] = simulate(config, traces, scheduler, "TPC-C-1",
-                                  prefetcher=prefetcher)
-    return results
+    runs = run_grid([
+        bench_spec("TPC-C-1", CORES, scheduler, prefetcher)
+        for _, scheduler, prefetcher in COMBOS
+    ])
+    return {label: run
+            for (label, _, _), run in zip(COMBOS, runs)}
 
 
 def test_future_strex_prefetch(benchmark):
@@ -57,6 +55,8 @@ def test_future_strex_prefetch(benchmark):
     write_report("future_strex_prefetch.txt", report)
     print("\n" + report)
 
+    if not PAPER_SHAPES:
+        return
     assert results["strex+pif"].relative_throughput(base) > \
         results["strex"].relative_throughput(base)
     assert results["strex+nextline"].relative_throughput(base) > \

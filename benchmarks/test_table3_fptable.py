@@ -8,27 +8,30 @@ calibrated to them):
     TPC-C: Delivery 12, New Order 14, Order 11, Payment 14, Stock 11
     TPC-E: Broker 7, Customer 9, Market 9, Security 5,
            Tr_Stat 9, Tr_Upd 8, Tr_Look 8
+
+Each suite's profile is one cached ``RunSpec(mode="fptable")`` cell
+(a ``FootprintResult``) run through ``run_grid``.
 """
 
 from __future__ import annotations
 
-from common import SEED, config_for, make_workloads, write_report
+from common import PAPER_SHAPES, SEED, bench_spec, run_grid, write_report
 from repro.analysis.report import format_table
-from repro.core.fptable import PAPER_FPTABLE, profile_fptable
+from repro.core.fptable import PAPER_FPTABLE
+
+SAMPLES_PER_TYPE = 5
+
+SUITES = (("TPC-C-1", "TPC-C"), ("TPC-E", "TPC-E"))
 
 
 def run_table3():
-    config = config_for(4)
-    suites = make_workloads(["TPC-C-1", "TPC-E"])
-    tables = {}
-    for label, paper_key in (("TPC-C-1", "TPC-C"), ("TPC-E", "TPC-E")):
-        workload = suites[label]
-        traces = []
-        for name in workload.type_names():
-            traces += workload.generate_uniform(name, 5, seed=SEED)
-        tables[paper_key] = profile_fptable(traces, config,
-                                            samples_per_type=5)
-    return tables
+    specs = [
+        bench_spec(label, 4, mode="fptable",
+                   transactions=SAMPLES_PER_TYPE, mix_seed=SEED)
+        for label, _ in SUITES
+    ]
+    return {paper_key: table
+            for (_, paper_key), table in zip(SUITES, run_grid(specs))}
 
 
 def test_table3_fptable(benchmark):
@@ -43,6 +46,8 @@ def test_table3_fptable(benchmark):
     write_report("table3_fptable.txt", report)
     print("\n" + report)
 
+    if not PAPER_SHAPES:
+        return
     for suite, table in tables.items():
         assert table.as_dict() == PAPER_FPTABLE[suite]
     # The hybrid switch points implied by Table 3 (Section 5.5.1).

@@ -6,6 +6,10 @@ subcommand expands a full parameter grid and drives it through the
 ``repro.exp`` runner (parallel workers + content-addressed result
 cache).
 
+The ``manifest`` subcommand summarizes the run manifest the cache
+keeps: hit rates, wall time by workload/scheduler, and the slowest
+cells.
+
 Examples::
 
     python -m repro --workload tpcc --scheduler strex --cores 4
@@ -15,18 +19,29 @@ Examples::
         --cores 2 4 8 --jobs 4
     python -m repro sweep --workloads tpcc --team-sizes 4 8 16 \\
         --schedulers strex --no-cache
+    python -m repro sweep --workloads tpcc --schedulers strex \\
+        --strex-overrides '{"phase_bits": [2, 4, 8]}'
+    python -m repro manifest --top 5
+    python -m repro manifest --json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List
 
 from repro.analysis.report import format_table
 from repro.config import SCALES, default_scale, paper_scale
-from repro.exp import Manifest, ResultCache, Runner, SweepSpec
+from repro.exp import (
+    Manifest,
+    ResultCache,
+    Runner,
+    SweepSpec,
+    summarize_entries,
+)
 from repro.sim.api import PREFETCHERS, SCHEDULERS, simulate
 from repro.workloads import WORKLOADS
 
@@ -147,6 +162,13 @@ def build_sweep_parser() -> argparse.ArgumentParser:
                         help="per-run wall-clock budget in seconds")
     parser.add_argument("--retries", type=int, default=2,
                         help="extra attempts after transient failures")
+    for option, target in (("--strex-overrides", "StrexConfig"),
+                           ("--cache-overrides", "CacheConfig"),
+                           ("--hybrid-overrides", "HybridConfig")):
+        parser.add_argument(
+            option, type=json.loads, default=None, metavar="JSON",
+            help=f"ablation grid over {target} fields, e.g. "
+                 '\'{"phase_bits": [2, 4, 8]}\'')
     return parser
 
 
@@ -162,6 +184,9 @@ def run_exp_sweep(argv: List[str]) -> str:
         seeds=tuple(args.seeds),
         scales=tuple(args.scales),
         transactions=args.transactions,
+        strex_overrides=args.strex_overrides,
+        cache_overrides=args.cache_overrides,
+        hybrid_overrides=args.hybrid_overrides,
     )
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     manifest = None if args.no_cache \
@@ -170,22 +195,39 @@ def run_exp_sweep(argv: List[str]) -> str:
                     timeout=args.timeout, retries=args.retries)
     specs = sweep.expand()
     results = runner.run(specs)
+
+    def override_label(spec) -> str:
+        segments = []
+        for overrides in (spec.strex_overrides, spec.cache_overrides,
+                          spec.hybrid_overrides):
+            if overrides is not None:
+                segments += [f"{k}={v}" for k, v in overrides]
+        return ",".join(segments) or "-"
+
+    with_overrides = any(override_label(spec) != "-" for spec in specs)
     rows = []
     for spec, run in zip(specs, results):
-        rows.append([
+        row = [
             run.workload,
             spec.scale,
             spec.cores,
             run.scheduler,
             spec.team_size if spec.team_size is not None else "-",
+        ]
+        if with_overrides:
+            row.append(override_label(spec))
+        row += [
             spec.seed,
             round(run.i_mpki, 2),
             round(run.d_mpki, 2),
             round(run.throughput, 2),
-        ])
-    table = format_table(
-        ["workload", "scale", "cores", "scheduler", "team", "seed",
-         "I-MPKI", "D-MPKI", "thr (txn/Mcyc)"], rows)
+        ]
+        rows.append(row)
+    headers = ["workload", "scale", "cores", "scheduler", "team"]
+    if with_overrides:
+        headers.append("overrides")
+    headers += ["seed", "I-MPKI", "D-MPKI", "thr (txn/Mcyc)"]
+    table = format_table(headers, rows)
     summary = (
         f"{len(results)} runs: {runner.hits} cache hits, "
         f"{runner.misses} executed"
@@ -195,12 +237,70 @@ def run_exp_sweep(argv: List[str]) -> str:
     return table + "\n" + summary
 
 
+def build_manifest_parser() -> argparse.ArgumentParser:
+    """Parser for the ``manifest`` subcommand (cache analytics)."""
+    parser = argparse.ArgumentParser(
+        prog="repro manifest",
+        description="Summarize the run manifest kept next to the "
+                    "result cache: cache hit rate, wall time by "
+                    "workload and scheduler, and the slowest cells.",
+    )
+    parser.add_argument("--path", type=Path,
+                        default=DEFAULT_CACHE_DIR / "manifest.jsonl",
+                        help="manifest file (default: the benchmark "
+                             "cache's manifest)")
+    parser.add_argument("--top", type=int, default=10,
+                        help="how many slowest cells to list")
+    parser.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON instead of "
+                             "tables (for CI assertions)")
+    return parser
+
+
+def run_manifest(argv: List[str]) -> str:
+    """Execute the ``manifest`` subcommand; returns the report."""
+    args = build_manifest_parser().parse_args(argv)
+    entries = Manifest(args.path).read()
+    summary = summarize_entries(entries, top=args.top)
+    if args.json:
+        return json.dumps(summary.to_dict(), indent=2, sort_keys=True)
+    if not entries:
+        return f"no manifest entries at {args.path}"
+    lines = [
+        f"manifest: {args.path}",
+        f"{summary.runs} runs: {summary.hits} cache hits, "
+        f"{summary.misses} executed "
+        f"(hit rate {100 * summary.hit_rate:.1f}%)",
+        f"executed wall time {summary.wall_s:.2f}s; cache saved "
+        f"~{summary.saved_s:.2f}s; {summary.retried} run(s) retried",
+        "",
+    ]
+    group_rows = [
+        [workload, scheduler, stats["runs"], stats["hits"],
+         stats["misses"], round(stats["wall_s"], 2)]
+        for (workload, scheduler), stats in sorted(summary.groups.items())
+    ]
+    lines.append(format_table(
+        ["workload", "scheduler", "runs", "hits", "misses", "wall (s)"],
+        group_rows))
+    if summary.slowest:
+        lines.append("")
+        lines.append(format_table(
+            ["wall (s)", "spec", "key"],
+            [[round(wall, 3), label, key[:12]]
+             for wall, label, key in summary.slowest]))
+    return "\n".join(lines)
+
+
 def main(argv=None) -> int:
     """CLI entry point."""
     argv = list(sys.argv[1:] if argv is None else argv)
     try:
         if argv and argv[0] == "sweep":
             print(run_exp_sweep(argv[1:]))
+            return 0
+        if argv and argv[0] == "manifest":
+            print(run_manifest(argv[1:]))
             return 0
         args = build_parser().parse_args(argv)
         report = run_sweep(args) if args.sweep else run_single(args)

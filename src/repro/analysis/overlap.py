@@ -45,6 +45,50 @@ class OverlapInterval:
         """Fraction of touched blocks whose overlap falls in ``band``."""
         return self.fractions.get(band, 0.0)
 
+    def to_dict(self) -> dict:
+        return {"kilo_instructions": self.kilo_instructions,
+                "fractions": dict(self.fractions)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "OverlapInterval":
+        return cls(kilo_instructions=data["kilo_instructions"],
+                   fractions=dict(data["fractions"]))
+
+
+@dataclass
+class OverlapResult:
+    """The full time series of one Fig. 2 overlap experiment.
+
+    The serialized form this exposes (:meth:`to_dict` /
+    :meth:`from_dict`, bit-identical round trip) is what lets overlap
+    runs live in the content-addressed result cache next to ordinary
+    simulation results (``RunSpec(mode="overlap")``).
+    """
+
+    txn_type: str
+    intervals: List[OverlapInterval] = field(default_factory=list)
+
+    def summarize(self) -> Dict[str, float]:
+        """Time-averaged band fractions over the whole run."""
+        return summarize(self.intervals)
+
+    def summarize_early(self, fraction: float = 1 / 3) -> Dict[str, float]:
+        """Band fractions over the first ``fraction`` of the run."""
+        count = max(1, int(len(self.intervals) * fraction))
+        return summarize(self.intervals[:count])
+
+    def to_dict(self) -> dict:
+        return {"txn_type": self.txn_type,
+                "intervals": [i.to_dict() for i in self.intervals]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "OverlapResult":
+        return cls(
+            txn_type=data["txn_type"],
+            intervals=[OverlapInterval.from_dict(i)
+                       for i in data["intervals"]],
+        )
+
 
 class OverlapAnalysis:
     """Runs Fig. 2's experiment for one transaction type.

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import math
 import random
+from dataclasses import dataclass, field as dataclass_field
 from typing import Dict, List, Optional, Sequence
 
 from repro.config import SystemConfig
@@ -114,6 +115,44 @@ class FPTable:
         if not self._units:
             raise ValueError("FPTable is empty")
         return max(self._units.values())
+
+
+@dataclass
+class FootprintResult:
+    """A serializable FPTable profile (``RunSpec(mode="fptable")``).
+
+    Wraps the measured type -> units mapping in the bit-identical
+    ``to_dict``/``from_dict`` round trip the content-addressed result
+    cache requires, and mirrors the :class:`FPTable` read API so
+    reports can use either interchangeably.
+    """
+
+    units_by_type: Dict[str, int] = dataclass_field(default_factory=dict)
+
+    def as_fptable(self) -> "FPTable":
+        table = FPTable()
+        for txn_type, units in self.units_by_type.items():
+            table.record(txn_type, units)
+        return table
+
+    def units(self, txn_type: str) -> int:
+        return self.units_by_type[txn_type]
+
+    def known_types(self) -> List[str]:
+        return sorted(self.units_by_type)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.units_by_type)
+
+    def median_units(self) -> float:
+        return self.as_fptable().median_units()
+
+    def to_dict(self) -> dict:
+        return {"units_by_type": dict(self.units_by_type)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FootprintResult":
+        return cls(units_by_type=dict(data["units_by_type"]))
 
 
 def profile_fptable(

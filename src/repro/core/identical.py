@@ -15,7 +15,7 @@ the baseline runs the same 100 transactions back to back).
 from __future__ import annotations
 
 import copy
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.config import SystemConfig
 from repro.sched.base import BaselineScheduler
@@ -31,11 +31,17 @@ def replicate_instances(
     txn_type: str,
     instances: int = 10,
     replicas: int = 10,
+    seed: Optional[int] = None,
 ) -> List[TransactionTrace]:
     """Fig. 4's construction: ``instances`` random instances, each
     replicated ``replicas`` times, interleaved so that replicas of the
-    same instance are adjacent (they form natural teams)."""
-    base = workload.generate_uniform(txn_type, instances)
+    same instance are adjacent (they form natural teams).
+
+    ``seed`` pins the instance draw; ``None`` draws from the
+    workload's own RNG (position-dependent, so cached experiments pass
+    an explicit seed).
+    """
+    base = workload.generate_uniform(txn_type, instances, seed=seed)
     traces: List[TransactionTrace] = []
     txn_id = 0
     for instance in base:

@@ -14,19 +14,34 @@ The subsystem has four parts (see DESIGN.md §3):
   audit trail of every run (key, hit/miss, wall time, worker).
 """
 
-from repro.exp.cache import ResultCache, code_fingerprint, spec_key
-from repro.exp.manifest import Manifest, ManifestEntry
+from repro.exp.cache import (
+    CACHE_SCHEMA,
+    RESULT_TYPES,
+    ResultCache,
+    code_fingerprint,
+    spec_key,
+)
+from repro.exp.manifest import (
+    Manifest,
+    ManifestEntry,
+    ManifestSummary,
+    summarize_entries,
+)
 from repro.exp.runner import (
     RunError,
     Runner,
     SimTimeoutError,
     execute_spec,
 )
-from repro.exp.spec import RunSpec, SweepSpec
+from repro.exp.spec import MODES, RunSpec, SweepSpec
 
 __all__ = [
+    "CACHE_SCHEMA",
+    "MODES",
     "Manifest",
     "ManifestEntry",
+    "ManifestSummary",
+    "RESULT_TYPES",
     "ResultCache",
     "RunError",
     "RunSpec",
@@ -36,4 +51,5 @@ __all__ = [
     "code_fingerprint",
     "execute_spec",
     "spec_key",
+    "summarize_entries",
 ]

@@ -33,11 +33,23 @@ from pathlib import Path
 from typing import Optional
 
 import repro
+from repro.analysis.overlap import OverlapResult
+from repro.core.fptable import FootprintResult
 from repro.sim.results import RunResult
 from repro.exp.spec import RunSpec
 
 #: Bump when the key schema or result schema changes shape.
-CACHE_SCHEMA = 1
+CACHE_SCHEMA = 2
+
+#: Serializable result classes by name.  Every experiment mode's
+#: result type round-trips bit-identically through
+#: ``to_dict``/``from_dict``; the entry payload records which class to
+#: rebuild.  Entries naming an unknown type read as a miss.
+RESULT_TYPES = {
+    "RunResult": RunResult,
+    "OverlapResult": OverlapResult,
+    "FootprintResult": FootprintResult,
+}
 
 _code_fingerprint: Optional[str] = None
 
@@ -69,7 +81,10 @@ def spec_key(spec: RunSpec) -> str:
     JSON (sorted keys, no whitespace) over plain dicts, hashed with
     SHA-256.  Note the *expanded* config is hashed, not the scale
     name — two scale presets that resolve to identical systems share
-    cache entries.
+    cache entries.  Config overrides (``strex_overrides`` etc.) enter
+    the key the same way: they are applied by ``build_config`` before
+    hashing, so an override spelling out a default value addresses the
+    same content as no override at all.
     """
     payload = {
         "schema": CACHE_SCHEMA,
@@ -82,6 +97,9 @@ def spec_key(spec: RunSpec) -> str:
         "scheduler": spec.scheduler,
         "prefetcher": spec.prefetcher,
         "team_size": spec.team_size,
+        "mode": spec.mode,
+        "txn_type": spec.txn_type,
+        "replicas": spec.replicas,
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()
@@ -97,16 +115,22 @@ class ResultCache:
         """Sharded entry path for a key."""
         return self.root / key[:2] / f"{key}.json"
 
-    def get(self, key: str) -> Optional[RunResult]:
+    def get(self, key: str):
         """The cached result for ``key``, or ``None`` on a miss.
 
-        A corrupt or schema-incompatible entry is removed and treated
-        as a miss rather than poisoning the run.
+        A corrupt or schema-incompatible entry (truncated JSON, empty
+        file, wrong schema version, unknown result type, unexpected
+        result fields) is removed and treated as a miss rather than
+        poisoning the run.
         """
         path = self.path_for(key)
         try:
             data = json.loads(path.read_text())
-            return RunResult.from_dict(data["result"])
+            if data["schema"] != CACHE_SCHEMA:
+                raise ValueError(f"schema {data['schema']!r}")
+            result_cls = RESULT_TYPES[data.get("result_type",
+                                               "RunResult")]
+            return result_cls.from_dict(data["result"])
         except FileNotFoundError:
             return None
         except (json.JSONDecodeError, KeyError, TypeError, ValueError):
@@ -116,20 +140,28 @@ class ResultCache:
                 pass
             return None
 
-    def put(self, key: str, result: RunResult,
+    def put(self, key: str, result,
             spec: Optional[RunSpec] = None) -> Path:
         """Atomically store ``result`` under ``key``.
 
-        The spec is stored alongside the result for debuggability
-        (entries are self-describing), but only the key is ever used
-        for lookup.
+        ``result`` may be any registered result type (see
+        :data:`RESULT_TYPES`).  The spec is stored alongside it for
+        debuggability (entries are self-describing), but only the key
+        is ever used for lookup.
         """
+        result_type = type(result).__name__
+        if result_type not in RESULT_TYPES:
+            raise TypeError(
+                f"unregistered result type {result_type!r}; "
+                f"choose from {sorted(RESULT_TYPES)}"
+            )
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "schema": CACHE_SCHEMA,
             "key": key,
             "spec": spec.to_dict() if spec is not None else None,
+            "result_type": result_type,
             "result": result.to_dict(),
         }
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")

@@ -16,9 +16,9 @@ from __future__ import annotations
 
 import dataclasses
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 
 @dataclass(frozen=True)
@@ -70,3 +70,123 @@ class Manifest:
             except (json.JSONDecodeError, TypeError):
                 continue
         return entries
+
+
+def _entry_label(entry: ManifestEntry) -> str:
+    """A human-readable label for an entry's spec.
+
+    Manifest rows are self-describing dicts; rows written by older
+    versions (missing fields) still label fine, and rows that no
+    longer parse as specs fall back to their raw workload/scheduler.
+    """
+    from repro.exp.spec import RunSpec
+
+    try:
+        return RunSpec.from_dict(entry.spec).describe()
+    except (TypeError, ValueError):
+        workload = entry.spec.get("workload", "?")
+        scheduler = entry.spec.get("scheduler", "?")
+        return f"{workload}/{scheduler}"
+
+
+@dataclass
+class ManifestSummary:
+    """Aggregates over a set of manifest rows (see ``repro manifest``).
+
+    Attributes:
+        runs: total rows.
+        hits: rows served from cache.
+        misses: rows that executed.
+        wall_s: total executed wall seconds (hits cost ~0).
+        saved_s: wall seconds the cache saved — each hit credited with
+            the mean executed wall time of its key (0 when the key
+            never executed inside this manifest).
+        retried: rows that needed more than one attempt.
+        groups: ``(workload, scheduler) -> {runs, hits, misses,
+            wall_s}`` aggregates.
+        slowest: the top-N executed rows as ``(wall_s, label, key)``,
+            slowest first.
+    """
+
+    runs: int = 0
+    hits: int = 0
+    misses: int = 0
+    wall_s: float = 0.0
+    saved_s: float = 0.0
+    retried: int = 0
+    groups: Dict[Tuple[str, str], Dict[str, float]] = \
+        field(default_factory=dict)
+    slowest: List[Tuple[float, str, str]] = field(default_factory=list)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of rows served from cache (0.0 when empty)."""
+        if self.runs == 0:
+            return 0.0
+        return self.hits / self.runs
+
+    def to_dict(self) -> dict:
+        """JSON form (``repro manifest --json``), for CI assertions."""
+        return {
+            "runs": self.runs,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "wall_s": round(self.wall_s, 6),
+            "saved_s": round(self.saved_s, 6),
+            "retried": self.retried,
+            "groups": [
+                {"workload": workload, "scheduler": scheduler,
+                 **{k: (round(v, 6) if isinstance(v, float) else v)
+                    for k, v in stats.items()}}
+                for (workload, scheduler), stats in
+                sorted(self.groups.items())
+            ],
+            "slowest": [
+                {"wall_s": round(wall, 6), "spec": label, "key": key}
+                for wall, label, key in self.slowest
+            ],
+        }
+
+
+def summarize_entries(entries: Sequence[ManifestEntry],
+                      top: int = 10) -> ManifestSummary:
+    """Aggregate manifest rows into a :class:`ManifestSummary`.
+
+    Answers the three questions the manifest exists for: what's the
+    cache hit rate, where does the wall time go (by workload ×
+    scheduler), and which cells are the expensive ones.
+    """
+    summary = ManifestSummary()
+    executed: List[ManifestEntry] = []
+    wall_by_key: Dict[str, List[float]] = {}
+    for entry in entries:
+        summary.runs += 1
+        workload = entry.spec.get("workload", "?")
+        scheduler = entry.spec.get("scheduler", "?")
+        group = summary.groups.setdefault(
+            (workload, scheduler),
+            {"runs": 0, "hits": 0, "misses": 0, "wall_s": 0.0})
+        group["runs"] += 1
+        if entry.hit:
+            summary.hits += 1
+            group["hits"] += 1
+        else:
+            summary.misses += 1
+            group["misses"] += 1
+            summary.wall_s += entry.wall_s
+            group["wall_s"] += entry.wall_s
+            executed.append(entry)
+            wall_by_key.setdefault(entry.key, []).append(entry.wall_s)
+        if entry.attempts > 1:
+            summary.retried += 1
+    for entry in entries:
+        if entry.hit and entry.key in wall_by_key:
+            walls = wall_by_key[entry.key]
+            summary.saved_s += sum(walls) / len(walls)
+    executed.sort(key=lambda e: e.wall_s, reverse=True)
+    summary.slowest = [
+        (entry.wall_s, _entry_label(entry), entry.key)
+        for entry in executed[:max(0, top)]
+    ]
+    return summary

@@ -29,11 +29,13 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, Iterable, List, Optional, Union
 
-from repro.exp.cache import ResultCache, spec_key
+from repro.analysis.overlap import OverlapAnalysis, OverlapResult
+from repro.core.fptable import FootprintResult, profile_fptable
+from repro.core.identical import replicate_instances
+from repro.exp.cache import RESULT_TYPES, ResultCache, spec_key
 from repro.exp.manifest import Manifest, ManifestEntry
 from repro.exp.spec import RunSpec, SweepSpec
 from repro.sim.api import simulate
-from repro.sim.results import RunResult
 from repro.workloads import make_workload
 
 
@@ -58,12 +60,43 @@ class RunError(RuntimeError):
         self.attempts = attempts
 
 
-def execute_spec(spec: RunSpec) -> RunResult:
-    """Execute one spec end to end (config, workload, traces, sim)."""
+def execute_spec(spec: RunSpec):
+    """Execute one spec end to end (config, workload, traces, run).
+
+    Dispatches on ``spec.mode`` (see :data:`repro.exp.spec.MODES`):
+    the simulation modes return a :class:`RunResult`, ``overlap``
+    returns an :class:`OverlapResult`, and ``fptable`` a
+    :class:`FootprintResult` — every mode's result type is registered
+    in :data:`repro.exp.cache.RESULT_TYPES` so it caches identically.
+    """
     config = spec.build_config()
     workload = make_workload(spec.workload, config.l1i_blocks, spec.seed)
-    traces = workload.generate_mix(
-        spec.transactions, seed=spec.effective_mix_seed())
+    mix_seed = spec.effective_mix_seed()
+    if spec.mode == "mix":
+        traces = workload.generate_mix(spec.transactions, seed=mix_seed)
+    elif spec.mode == "uniform":
+        traces = workload.generate_uniform(
+            spec.txn_type, spec.transactions, seed=mix_seed)
+    elif spec.mode == "identical":
+        traces = replicate_instances(
+            workload, spec.txn_type, instances=spec.transactions,
+            replicas=spec.replicas, seed=mix_seed)
+    elif spec.mode == "overlap":
+        traces = workload.generate_uniform(
+            spec.txn_type, spec.transactions, seed=mix_seed)
+        analysis = OverlapAnalysis(config)
+        return OverlapResult(txn_type=spec.txn_type,
+                             intervals=analysis.run(traces))
+    elif spec.mode == "fptable":
+        traces = []
+        for type_name in workload.type_names():
+            traces += workload.generate_uniform(
+                type_name, spec.transactions, seed=mix_seed)
+        table = profile_fptable(traces, config,
+                                samples_per_type=spec.transactions)
+        return FootprintResult(units_by_type=table.as_dict())
+    else:  # pragma: no cover - spec validation rejects unknown modes
+        raise ValueError(f"unknown mode {spec.mode!r}")
     return simulate(
         config,
         traces,
@@ -77,9 +110,10 @@ def execute_spec(spec: RunSpec) -> RunResult:
 def _worker_run(spec: RunSpec, timeout: Optional[float]):
     """Worker entry point: run one spec under an optional alarm.
 
-    Returns ``(result_dict, worker_pid, wall_seconds)``.  The result
-    crosses the process boundary as a plain dict, which doubles as the
-    cache's serialized form.
+    Returns ``(result_dict, result_type, worker_pid, wall_seconds)``.
+    The result crosses the process boundary as a plain dict plus its
+    registered type name, which doubles as the cache's serialized
+    form.
     """
     start = time.perf_counter()
     use_alarm = timeout is not None and hasattr(signal, "SIGALRM")
@@ -95,7 +129,8 @@ def _worker_run(spec: RunSpec, timeout: Optional[float]):
         if use_alarm:
             signal.setitimer(signal.ITIMER_REAL, 0)
             signal.signal(signal.SIGALRM, previous)
-    return result.to_dict(), os.getpid(), time.perf_counter() - start
+    return (result.to_dict(), type(result).__name__, os.getpid(),
+            time.perf_counter() - start)
 
 
 #: Failures worth retrying: a worker died, the pool broke, a run timed
@@ -146,11 +181,13 @@ class Runner:
     # Public API
     # ------------------------------------------------------------------
     def run(self, specs: Union[SweepSpec, Iterable[RunSpec]]
-            ) -> List[RunResult]:
+            ) -> List:
         """Run every spec; results align positionally with the specs.
 
         A :class:`SweepSpec` is expanded first (its deterministic
-        order *is* the result order).
+        order *is* the result order).  Each result's type follows its
+        spec's mode (``RunResult`` for the simulation modes,
+        ``OverlapResult``/``FootprintResult`` for the analysis modes).
         """
         if isinstance(specs, SweepSpec):
             specs = specs.expand()
@@ -160,7 +197,7 @@ class Runner:
         self.entries = []
 
         keys = [spec_key(spec) for spec in specs]
-        results: List[Optional[RunResult]] = [None] * len(specs)
+        results: List[Optional[object]] = [None] * len(specs)
         pending: List[int] = []
         for idx, spec in enumerate(specs):
             cached = self.cache.get(keys[idx]) if self.cache else None
@@ -187,14 +224,14 @@ class Runner:
             while True:
                 attempts += 1
                 try:
-                    payload, worker, wall = _worker_run(
+                    payload, rtype, worker, wall = _worker_run(
                         specs[idx], self.timeout)
                 except Exception as exc:
                     self._check_attempt(specs[idx], attempts, exc)
                     continue
                 break
-            self._complete(idx, specs, keys, results, payload, wall,
-                           worker, attempts)
+            self._complete(idx, specs, keys, results, payload, rtype,
+                           wall, worker, attempts)
 
     def _run_parallel(self, specs, keys, pending, results) -> None:
         attempts: Dict[int, int] = {idx: 0 for idx in pending}
@@ -208,13 +245,13 @@ class Runner:
                     idx = futures.pop(future)
                     attempts[idx] += 1
                     try:
-                        payload, worker, wall = future.result()
+                        payload, rtype, worker, wall = future.result()
                     except Exception as exc:
                         self._check_attempt(specs[idx], attempts[idx], exc)
                         futures[self._submit(specs[idx])] = idx
                         continue
                     self._complete(idx, specs, keys, results, payload,
-                                   wall, worker, attempts[idx])
+                                   rtype, wall, worker, attempts[idx])
         finally:
             self._shutdown_pool()
 
@@ -247,9 +284,9 @@ class Runner:
     # ------------------------------------------------------------------
     # Bookkeeping
     # ------------------------------------------------------------------
-    def _complete(self, idx, specs, keys, results, payload, wall,
-                  worker, attempts) -> None:
-        result = RunResult.from_dict(payload)
+    def _complete(self, idx, specs, keys, results, payload, rtype,
+                  wall, worker, attempts) -> None:
+        result = RESULT_TYPES[rtype].from_dict(payload)
         results[idx] = result
         if self.cache is not None:
             self.cache.put(keys[idx], result, specs[idx])

@@ -8,6 +8,8 @@ import time
 import pytest
 
 import repro.exp.runner as runner_mod
+from repro.analysis.overlap import OverlapResult
+from repro.core.fptable import FootprintResult
 from repro.exp import (
     Manifest,
     ManifestEntry,
@@ -20,6 +22,7 @@ from repro.exp import (
     code_fingerprint,
     execute_spec,
     spec_key,
+    summarize_entries,
 )
 from repro.sim.results import RunResult
 
@@ -317,3 +320,246 @@ class TestExecuteSpec:
         result = execute_spec(tiny_spec())
         blob = json.dumps(result.to_dict())
         assert RunResult.from_dict(json.loads(blob)) == result
+
+
+class TestOverrides:
+    def test_strex_overrides_reach_the_config(self):
+        spec = tiny_spec(scheduler="strex",
+                         strex_overrides={"phase_bits": 2, "window": 5})
+        config = spec.build_config()
+        assert config.strex.phase_bits == 2
+        assert config.strex.window == 5
+
+    def test_cache_overrides_apply_to_both_l1s(self):
+        config = tiny_spec(cache_overrides={"assoc": 2}).build_config()
+        assert config.l1i.assoc == 2
+        assert config.l1d.assoc == 2
+
+    def test_hybrid_overrides_reach_the_config(self):
+        spec = tiny_spec(scheduler="hybrid",
+                         hybrid_overrides={"slack_units": 4})
+        assert spec.build_config().hybrid.slack_units == 4
+
+    def test_strex_overrides_rejected_for_base(self):
+        with pytest.raises(ValueError, match="strex_overrides"):
+            tiny_spec(scheduler="base",
+                      strex_overrides={"phase_bits": 2})
+
+    def test_hybrid_overrides_rejected_for_strex(self):
+        with pytest.raises(ValueError, match="hybrid_overrides"):
+            tiny_spec(scheduler="strex",
+                      hybrid_overrides={"slack_units": 4})
+
+    def test_unknown_knob_rejected(self):
+        with pytest.raises(ValueError, match="unknown StrexConfig"):
+            tiny_spec(scheduler="strex",
+                      strex_overrides={"phase_bitz": 2})
+
+    def test_non_scalar_value_rejected(self):
+        with pytest.raises(TypeError, match="JSON scalar"):
+            tiny_spec(scheduler="strex",
+                      strex_overrides={"phase_bits": [2]})
+
+    def test_team_size_conflict_rejected(self):
+        with pytest.raises(ValueError, match="pick one"):
+            tiny_spec(scheduler="strex", team_size=4,
+                      strex_overrides={"team_size": 8})
+
+    def test_replacement_conflict_rejected(self):
+        with pytest.raises(ValueError, match="pick one"):
+            tiny_spec(replacement="bip",
+                      cache_overrides={"replacement": "lru"})
+
+    def test_describe_names_the_knobs(self):
+        spec = tiny_spec(scheduler="strex",
+                         strex_overrides={"phase_bits": 2})
+        assert "strex{phase_bits=2}" in spec.describe()
+
+    def test_roundtrip_with_overrides(self):
+        spec = tiny_spec(scheduler="hybrid", team_size=6,
+                         strex_overrides={"window": 5},
+                         hybrid_overrides={"slack_units": 4})
+        data = json.loads(json.dumps(spec.to_dict()))
+        assert RunSpec.from_dict(data) == spec
+
+    def test_override_changes_key_default_spelling_does_not(self):
+        bare = tiny_spec(scheduler="strex")
+        assert spec_key(tiny_spec(
+            scheduler="strex", strex_overrides={"window": 5},
+        )) != spec_key(bare)
+        # window=30 is the StrexConfig default: same expanded config,
+        # same content address.
+        assert spec_key(tiny_spec(
+            scheduler="strex", strex_overrides={"window": 30},
+        )) == spec_key(bare)
+
+
+class TestModes:
+    def test_typed_modes_require_txn_type(self):
+        with pytest.raises(ValueError, match="requires txn_type"):
+            tiny_spec(mode="uniform")
+
+    def test_mix_rejects_txn_type(self):
+        with pytest.raises(ValueError, match="txn_type"):
+            tiny_spec(txn_type="NewOrder")
+
+    def test_replicas_only_for_identical(self):
+        with pytest.raises(ValueError, match="replicas"):
+            tiny_spec(replicas=2)
+        with pytest.raises(ValueError, match="replicas"):
+            tiny_spec(mode="identical", txn_type="NewOrder", replicas=0)
+
+    def test_analysis_modes_reject_schedulers(self):
+        with pytest.raises(ValueError, match="ignores the scheduler"):
+            tiny_spec(mode="overlap", txn_type="NewOrder",
+                      scheduler="strex")
+        with pytest.raises(ValueError, match="ignores the scheduler"):
+            tiny_spec(mode="fptable", prefetcher="pif")
+
+    def test_overlap_needs_two_traces(self):
+        with pytest.raises(ValueError, match="at least two"):
+            tiny_spec(mode="overlap", txn_type="NewOrder",
+                      transactions=1)
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError, match="unknown mode"):
+            tiny_spec(mode="profile")
+
+    def test_uniform_simulates_one_type(self):
+        result = execute_spec(tiny_spec(mode="uniform",
+                                        txn_type="Payment"))
+        assert isinstance(result, RunResult)
+        assert result.transactions == 4
+
+    def test_identical_replicates(self):
+        result = execute_spec(tiny_spec(
+            mode="identical", txn_type="NewOrder", transactions=2,
+            replicas=3))
+        assert isinstance(result, RunResult)
+        assert result.transactions == 6
+
+    def test_overlap_returns_overlap_result(self):
+        result = execute_spec(tiny_spec(mode="overlap",
+                                        txn_type="NewOrder"))
+        assert isinstance(result, OverlapResult)
+        assert result.txn_type == "NewOrder"
+        assert result.intervals
+        for bands in (result.summarize(), result.summarize_early()):
+            assert all(0.0 <= v <= 1.0 for v in bands.values())
+
+    def test_fptable_returns_footprint_result(self):
+        result = execute_spec(tiny_spec(mode="fptable",
+                                        transactions=2))
+        assert isinstance(result, FootprintResult)
+        assert result.units("NewOrder") >= 1
+        assert "Payment" in result.known_types()
+
+    def test_analysis_results_cache_and_roundtrip(self, tmp_path):
+        specs = [
+            tiny_spec(mode="overlap", txn_type="NewOrder"),
+            tiny_spec(mode="fptable", transactions=2),
+            tiny_spec(),
+        ]
+        runner = Runner(cache=ResultCache(tmp_path))
+        first = runner.run(specs)
+        assert (runner.hits, runner.misses) == (0, 3)
+        second = runner.run(specs)
+        assert (runner.hits, runner.misses) == (3, 0)
+        assert first == second
+        assert isinstance(second[0], OverlapResult)
+        assert isinstance(second[1], FootprintResult)
+        assert isinstance(second[2], RunResult)
+
+
+class TestSweepOverrides:
+    def test_override_grid_expands_as_axes(self):
+        sweep = tiny_sweep(workloads=("tpcc",),
+                           schedulers=("strex",),
+                           strex_overrides={"phase_bits": (2, 4),
+                                            "window": (5,)})
+        specs = sweep.expand()
+        assert len(specs) == 2
+        assert [dict(s.strex_overrides) for s in specs] == [
+            {"phase_bits": 2, "window": 5},
+            {"phase_bits": 4, "window": 5},
+        ]
+
+    def test_non_team_schedulers_collapse_override_cells(self):
+        sweep = tiny_sweep(workloads=("tpcc",),
+                           schedulers=("base", "strex"),
+                           strex_overrides={"phase_bits": (2, 4)})
+        specs = sweep.expand()
+        base = [s for s in specs if s.scheduler == "base"]
+        strex = [s for s in specs if s.scheduler == "strex"]
+        assert len(base) == 1 and base[0].strex_overrides is None
+        assert len(strex) == 2
+
+    def test_override_grid_without_team_scheduler_is_an_error(self):
+        with pytest.raises(ValueError, match="strex_overrides require"):
+            tiny_sweep(schedulers=("base",),
+                       strex_overrides={"phase_bits": (2,)})
+
+    def test_hybrid_grid_without_hybrid_is_an_error(self):
+        with pytest.raises(ValueError, match="hybrid_overrides require"):
+            tiny_sweep(schedulers=("base", "strex"),
+                       hybrid_overrides={"slack_units": (4,)})
+
+    def test_empty_override_axis_is_an_error(self):
+        with pytest.raises(ValueError, match="empty"):
+            tiny_sweep(schedulers=("strex",),
+                       strex_overrides={"phase_bits": ()})
+
+    def test_typed_mode_sweep(self):
+        sweep = tiny_sweep(workloads=("tpcc",), schedulers=("base",),
+                           mode="uniform",
+                           txn_types=("NewOrder", "Payment"))
+        specs = sweep.expand()
+        assert [s.txn_type for s in specs] == ["NewOrder", "Payment"]
+        assert all(s.mode == "uniform" for s in specs)
+
+
+class TestManifestSummary:
+    def test_aggregates(self):
+        entries = [
+            ManifestEntry(key="k1", spec={"workload": "tpcc",
+                                          "scheduler": "base"},
+                          hit=False, wall_s=2.0),
+            ManifestEntry(key="k1", spec={"workload": "tpcc",
+                                          "scheduler": "base"},
+                          hit=True, wall_s=0.0),
+            ManifestEntry(key="k2", spec={"workload": "tpcc",
+                                          "scheduler": "strex"},
+                          hit=False, wall_s=0.5, attempts=3),
+            ManifestEntry(key="k3", spec={"workload": "tpce",
+                                          "scheduler": "base"},
+                          hit=True, wall_s=0.0),
+        ]
+        summary = summarize_entries(entries, top=2)
+        assert (summary.runs, summary.hits, summary.misses) == (4, 2, 2)
+        assert summary.hit_rate == 0.5
+        assert summary.wall_s == 2.5
+        # k1's hit is credited its executed wall; k3 never executed.
+        assert summary.saved_s == 2.0
+        assert summary.retried == 1
+        assert summary.groups[("tpcc", "base")]["runs"] == 2
+        assert summary.slowest[0][0] == 2.0
+        assert summary.slowest[0][2] == "k1"
+
+    def test_to_dict_is_json_and_has_hit_rate(self):
+        summary = summarize_entries([
+            ManifestEntry(key="k", spec={}, hit=True, wall_s=0.0),
+        ])
+        data = json.loads(json.dumps(summary.to_dict()))
+        assert data["hit_rate"] == 1.0
+        assert data["runs"] == 1
+
+    def test_real_runner_manifest_summarizes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        manifest = Manifest(tmp_path / "manifest.jsonl")
+        Runner(cache=cache, manifest=manifest).run(tiny_sweep())
+        Runner(cache=cache, manifest=manifest).run(tiny_sweep())
+        summary = summarize_entries(manifest.read())
+        assert summary.runs == 8
+        assert summary.hit_rate == 0.5
+        assert summary.saved_s > 0
+        assert summary.slowest
