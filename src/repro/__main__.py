@@ -23,6 +23,10 @@ Examples::
         --strex-overrides '{"phase_bits": [2, 4, 8]}'
     python -m repro manifest --top 5
     python -m repro manifest --json
+    python -m repro manifest --since 2026-08-01T00:00:00
+    python -m repro manifest --keep-last 5
+    python -m repro perf --scale tiny
+    python -m repro perf --repeats 7 --out BENCH_sim.json
 """
 
 from __future__ import annotations
@@ -254,13 +258,40 @@ def build_manifest_parser() -> argparse.ArgumentParser:
     parser.add_argument("--json", action="store_true",
                         help="emit machine-readable JSON instead of "
                              "tables (for CI assertions)")
+    parser.add_argument("--since", type=str, default=None,
+                        metavar="ISO",
+                        help="only summarize rows at/after this ISO "
+                             "timestamp, e.g. 2026-08-01T00:00:00 "
+                             "(rows without a timestamp are excluded)")
+    parser.add_argument("--keep-last", type=int, default=None,
+                        metavar="N",
+                        help="compact the manifest in place, keeping "
+                             "only the rows of the last N sweeps")
     return parser
 
 
 def run_manifest(argv: List[str]) -> str:
     """Execute the ``manifest`` subcommand; returns the report."""
+    from datetime import datetime
+
     args = build_manifest_parser().parse_args(argv)
-    entries = Manifest(args.path).read()
+    manifest = Manifest(args.path)
+    if args.keep_last is not None:
+        if args.keep_last <= 0:
+            raise ValueError("--keep-last must be positive")
+        kept, dropped = manifest.compact(args.keep_last)
+        return (f"compacted {args.path}: kept {kept} row(s) from the "
+                f"last {args.keep_last} sweep(s), dropped {dropped}")
+    entries = manifest.read()
+    if args.since is not None:
+        try:
+            cutoff = datetime.fromisoformat(args.since).timestamp()
+        except ValueError:
+            raise ValueError(
+                f"--since must be an ISO timestamp, got {args.since!r}"
+            ) from None
+        entries = [e for e in entries
+                   if e.ts is not None and e.ts >= cutoff]
     summary = summarize_entries(entries, top=args.top)
     if args.json:
         return json.dumps(summary.to_dict(), indent=2, sort_keys=True)
@@ -292,6 +323,50 @@ def run_manifest(argv: List[str]) -> str:
     return "\n".join(lines)
 
 
+def build_perf_parser() -> argparse.ArgumentParser:
+    """Parser for the ``perf`` subcommand (kernel microbenchmark)."""
+    parser = argparse.ArgumentParser(
+        prog="repro perf",
+        description="Benchmark the simulation kernel: fast path vs "
+                    "the REPRO_SIM_REFERENCE implementation on the "
+                    "same traces, with parity asserted first.  Writes "
+                    "a JSON report for tracking.",
+    )
+    parser.add_argument("--scale", choices=sorted(SCALES),
+                        default="default")
+    parser.add_argument("--workload", choices=sorted(WORKLOADS),
+                        default="tpcc")
+    parser.add_argument("--transactions", type=int, default=40)
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="timed repeats per path (min is kept)")
+    parser.add_argument("--cores", type=int, default=None,
+                        help="override the scale's default core count")
+    parser.add_argument("--seed", type=int, default=1013)
+    parser.add_argument("--out", type=Path,
+                        default=Path("BENCH_sim.json"),
+                        help="JSON report path (default: "
+                             "BENCH_sim.json in the current directory)")
+    return parser
+
+
+def run_perf(argv: List[str]) -> str:
+    """Execute the ``perf`` subcommand; returns the printed report."""
+    from repro.perf import run_bench, write_bench
+    from repro.perf.bench import format_report
+
+    args = build_perf_parser().parse_args(argv)
+    report = run_bench(
+        scale=args.scale,
+        workload=args.workload,
+        transactions=args.transactions,
+        repeats=args.repeats,
+        seed=args.seed,
+        cores=args.cores,
+    )
+    write_bench(report, args.out)
+    return format_report(report) + f"\nwrote {args.out}"
+
+
 def main(argv=None) -> int:
     """CLI entry point."""
     argv = list(sys.argv[1:] if argv is None else argv)
@@ -301,6 +376,9 @@ def main(argv=None) -> int:
             return 0
         if argv and argv[0] == "manifest":
             print(run_manifest(argv[1:]))
+            return 0
+        if argv and argv[0] == "perf":
+            print(run_perf(argv[1:]))
             return 0
         args = build_parser().parse_args(argv)
         report = run_sweep(args) if args.sweep else run_single(args)

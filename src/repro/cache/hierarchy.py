@@ -25,8 +25,9 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional, Set
 
-from repro.cache.cache import Cache, VictimCallback
+from repro.cache.cache import Cache, VictimCallback, make_cache
 from repro.config import SystemConfig
+from repro.fastpath import reference_mode
 from repro.mem.dram import DramModel
 from repro.noc.torus import TorusNetwork
 from repro.prefetch.base import InstructionPrefetcher, NoPrefetcher
@@ -54,18 +55,21 @@ class MemoryHierarchy:
         n = config.num_cores
         rng = random.Random(config.seed)
         self.l1i: List[Cache] = [
-            Cache(config.l1i, rng=random.Random(rng.randrange(2**31)),
-                  name=f"l1i{c}")
+            make_cache(config.l1i,
+                       rng=random.Random(rng.randrange(2**31)),
+                       name=f"l1i{c}")
             for c in range(n)
         ]
         self.l1d: List[Cache] = [
-            Cache(config.l1d, rng=random.Random(rng.randrange(2**31)),
-                  name=f"l1d{c}")
+            make_cache(config.l1d,
+                       rng=random.Random(rng.randrange(2**31)),
+                       name=f"l1d{c}")
             for c in range(n)
         ]
         self.l2: List[Cache] = [
-            Cache(config.l2_slice, rng=random.Random(rng.randrange(2**31)),
-                  name=f"l2s{c}")
+            make_cache(config.l2_slice,
+                       rng=random.Random(rng.randrange(2**31)),
+                       name=f"l2s{c}")
             for c in range(n)
         ]
         self.noc = TorusNetwork(n, config.noc)
@@ -75,6 +79,20 @@ class MemoryHierarchy:
         self._lost_to_invalidation: List[Set[int]] = [set() for _ in range(n)]
         self.coherence_misses = [0] * n
         self.l2_demand_traffic = 0
+        self._num_cores = n
+        self._l2_hit_latency = config.l2_slice.hit_latency
+        # Full L2 round trip from each core to each slice (torus there
+        # and back plus the slice's hit latency) as one table lookup.
+        self._l2_roundtrip = [
+            [2 * self.noc._latency[c][s] + self._l2_hit_latency
+             for s in range(n)]
+            for c in range(n)
+        ]
+        if not reference_mode():
+            # Flat-layout caches admit an inlined L2 access; rebinding
+            # the instance attribute routes every caller (engine loops
+            # and access_data alike) through one implementation.
+            self._l2_access = self._l2_access_fast
 
     # ------------------------------------------------------------------
     # L2 + DRAM
@@ -93,6 +111,38 @@ class MemoryHierarchy:
         if not slice_cache.access(block):
             latency += self.dram.access(block)
         return latency
+
+    def _l2_access_fast(self, core: int, block: int) -> int:
+        """:meth:`_l2_access` with the access machinery inlined.
+
+        Installed over ``_l2_access`` at construction on the fast path
+        (flat cache layout required); side effects, counters, and the
+        returned latency are identical to the reference body.
+        """
+        self.l2_demand_traffic += 1
+        slice_id = block % self._num_cores
+        noc = self.noc
+        noc.messages += 1
+        noc.total_hops += noc._hops[core][slice_id]
+        latency = self._l2_roundtrip[core][slice_id]
+        slice_cache = self.l2[slice_id]
+        slot = slice_cache._where.get(block)
+        if slot is not None:
+            slice_cache.stats.hits += 1
+            policy = slice_cache.policy
+            mode = policy.hit_mode
+            if mode == "age":
+                policy._ages[slot] = policy._tick
+                policy._tick += 1
+            elif mode == "zero":
+                policy.hit_array[slot] = 0
+            elif mode == "call":
+                policy.hit_slot(slot)
+            slice_cache._slot_tags[slot] = 0
+            return latency
+        slice_cache.miss_fill(
+            block, 0, slice_cache.set_index(block))
+        return latency + self.dram.access(block)
 
     # ------------------------------------------------------------------
     # Instruction path

@@ -16,79 +16,158 @@ victim.  Implemented policies:
   ISCA'10) with 2-bit RRPVs, hit-priority promotion.
 * ``brrip``  -- Bimodal RRIP: inserts with distant RRPV most of the time.
 
-Policies keep per-set state indexed by *way*.  The owning cache tells the
-policy how many sets/ways it has at construction time.
+State is kept in one flat array of ``num_sets * assoc`` *slots* (slot =
+``set_index * assoc + way``), and the hot interface is slot-based:
+:meth:`~ReplacementPolicy.hit_slot`, :meth:`~ReplacementPolicy.insert_slot`
+and :meth:`~ReplacementPolicy.victim_slot`.  Recency policies encode the
+stack order as monotonic *age* stamps -- a hit or insertion is a single
+array store plus a counter bump (O(1)), and only a victim choice scans
+the set (O(assoc), paid once per eviction instead of once per access).
+
+The pre-optimization recency-stack implementations are retained as the
+``Reference*`` family (selected by ``REPRO_SIM_REFERENCE=1`` through
+:func:`make_policy`); the parity test suite runs both and asserts
+bit-identical simulation results.  Both families consume the RNG at
+exactly the same call sites, so stochastic policies (BIP/DIP/BRRIP)
+stay bit-reproducible across paths.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
+
+from repro.fastpath import reference_mode
 
 
 class ReplacementPolicy:
-    """Interface for per-set replacement state machines."""
+    """Interface for per-set replacement state machines.
+
+    Concrete policies implement the slot-based interface
+    (``hit_slot``/``insert_slot``/``victim_slot``); the classic
+    ``(set_index, way)`` methods are provided on top of it.  Reference
+    implementations do the opposite: they override the classic methods
+    and inherit the slot adapters from :class:`_SetWayAdapter`.
+
+    Attributes:
+        hit_mode: how the owning engine may inline the hit update --
+            ``"age"`` (store ``_tick`` into :attr:`hit_array` and bump),
+            ``"zero"`` (store 0 into :attr:`hit_array`), ``"none"``
+            (hits do not touch policy state) or ``"call"`` (invoke
+            :meth:`hit_slot`).
+        hit_array: the flat per-slot array ``hit_mode`` refers to.
+        insert_mode: how the owning cache may inline the fill update --
+            ``"age_mru"`` (policies that always insert at MRU: store
+            ``_tick`` into the age array and bump) or ``"call"``
+            (invoke :meth:`insert_slot`).
+    """
 
     name = "abstract"
+    hit_mode = "call"
+    insert_mode = "call"
+    hit_array: Optional[List[int]] = None
 
     def __init__(self, num_sets: int, assoc: int, rng: random.Random):
         self.num_sets = num_sets
         self.assoc = assoc
         self.rng = rng
 
+    # -- slot interface (hot path) -------------------------------------
+    def hit_slot(self, slot: int) -> None:
+        """The block in ``slot`` was re-referenced."""
+        raise NotImplementedError
+
+    def insert_slot(self, slot: int) -> None:
+        """A new block was filled into ``slot``."""
+        raise NotImplementedError
+
+    def victim_slot(self, set_index: int) -> int:
+        """Choose the slot to evict from a full set."""
+        raise NotImplementedError
+
+    # -- classic (set, way) interface ----------------------------------
     def on_hit(self, set_index: int, way: int) -> None:
         """A block in ``way`` of ``set_index`` was re-referenced."""
-        raise NotImplementedError
+        self.hit_slot(set_index * self.assoc + way)
 
     def on_insert(self, set_index: int, way: int) -> None:
         """A new block was filled into ``way`` of ``set_index``."""
-        raise NotImplementedError
+        self.insert_slot(set_index * self.assoc + way)
 
     def victim_way(self, set_index: int) -> int:
         """Choose the way to evict from a full set."""
-        raise NotImplementedError
+        return self.victim_slot(set_index) - set_index * self.assoc
 
     def on_miss(self, set_index: int) -> None:
         """A demand miss occurred in ``set_index`` (used by set dueling)."""
 
 
 class _StackPolicy(ReplacementPolicy):
-    """Shared machinery for recency-stack policies (LRU/FIFO/LIP/BIP).
+    """Shared machinery for recency policies (LRU/FIFO/LIP/BIP/DIP).
 
-    Each set keeps a list of ways ordered MRU-first.  Subclasses decide
-    where insertions land and whether hits promote.
+    The conceptual model is still a per-set stack ordered MRU-first,
+    but the order is materialized as monotonic age stamps: larger age =
+    closer to MRU.  Every operation either moves a slot to the very top
+    (stamp from the increasing ``_tick``) or the very bottom (stamp from
+    the decreasing ``_low``), which preserves the relative order of all
+    other slots -- exactly what ``list.insert(0, ...)`` /
+    ``list.append(...)`` did in the reference stacks.  Stamps are never
+    reused, so ties are impossible.
+
+    The initial ages ``assoc-1 .. 0`` across ways ``0 .. assoc-1``
+    reproduce the reference's seed stack ``[0, 1, ..., assoc-1]``
+    (victim = last element = way ``assoc-1``).
     """
 
     promote_on_hit = True
+    #: True for policies whose _insert_position is the constant 0
+    #: (LRU/FIFO); lets the owning cache inline the insert.
+    always_mru_insert = False
 
     def __init__(self, num_sets: int, assoc: int, rng: random.Random):
         super().__init__(num_sets, assoc, rng)
-        self._stacks: List[List[int]] = [
-            list(range(assoc)) for _ in range(num_sets)
-        ]
+        ages: List[int] = []
+        for _ in range(num_sets):
+            ages.extend(range(assoc - 1, -1, -1))
+        self._ages = ages
+        self._tick = assoc   # next MRU stamp (above all initial ages)
+        self._low = -1       # next LRU stamp (below all initial ages)
+        self.hit_mode = "age" if self.promote_on_hit else "none"
+        self.hit_array = ages
+        if self.always_mru_insert:
+            self.insert_mode = "age_mru"
 
-    def on_hit(self, set_index: int, way: int) -> None:
+    def hit_slot(self, slot: int) -> None:
         if self.promote_on_hit:
-            stack = self._stacks[set_index]
-            stack.remove(way)
-            stack.insert(0, way)
+            self._ages[slot] = self._tick
+            self._tick += 1
 
     def _insert_position(self, set_index: int) -> int:
+        """0 for an MRU insertion, ``assoc - 1`` for an LRU one."""
         raise NotImplementedError
 
-    def on_insert(self, set_index: int, way: int) -> None:
-        stack = self._stacks[set_index]
-        stack.remove(way)
-        stack.insert(self._insert_position(set_index), way)
+    def insert_slot(self, slot: int) -> None:
+        if self._insert_position(slot // self.assoc) == 0:
+            self._ages[slot] = self._tick
+            self._tick += 1
+        else:
+            self._ages[slot] = self._low
+            self._low -= 1
 
-    def victim_way(self, set_index: int) -> int:
-        return self._stacks[set_index][-1]
+    def victim_slot(self, set_index: int) -> int:
+        # Slice + min + index run in C; ages are unique so min is
+        # unambiguous.  O(assoc), but paid once per eviction instead
+        # of the O(assoc) the reference stacks paid per access.
+        base = set_index * self.assoc
+        segment = self._ages[base:base + self.assoc]
+        return base + segment.index(min(segment))
 
 
 class LruPolicy(_StackPolicy):
     """Classic LRU: insert at MRU, promote on hit, evict LRU."""
 
     name = "lru"
+    always_mru_insert = True
 
     def _insert_position(self, set_index: int) -> int:
         return 0
@@ -99,6 +178,7 @@ class FifoPolicy(_StackPolicy):
 
     name = "fifo"
     promote_on_hit = False
+    always_mru_insert = True
 
     def _insert_position(self, set_index: int) -> int:
         return 0
@@ -108,15 +188,16 @@ class RandomPolicy(ReplacementPolicy):
     """Uniform random victim selection."""
 
     name = "random"
+    hit_mode = "none"
 
-    def on_hit(self, set_index: int, way: int) -> None:
+    def hit_slot(self, slot: int) -> None:
         pass
 
-    def on_insert(self, set_index: int, way: int) -> None:
+    def insert_slot(self, slot: int) -> None:
         pass
 
-    def victim_way(self, set_index: int) -> int:
-        return self.rng.randrange(self.assoc)
+    def victim_slot(self, set_index: int) -> int:
+        return set_index * self.assoc + self.rng.randrange(self.assoc)
 
 
 class LipPolicy(_StackPolicy):
@@ -199,16 +280,164 @@ class SrripPolicy(ReplacementPolicy):
     Blocks are inserted with a *long* re-reference prediction (RRPV =
     max-1), promoted to *near-immediate* (0) on hit, and the victim is any
     block predicted *distant* (RRPV = max), aging the whole set until one
-    appears.
+    appears.  RRPVs live in one flat per-slot array.
     """
 
     name = "srrip"
     rrpv_bits = 2
+    hit_mode = "zero"
 
     def __init__(self, num_sets: int, assoc: int, rng: random.Random):
         super().__init__(num_sets, assoc, rng)
         self.rrpv_max = (1 << self.rrpv_bits) - 1
         # All ways start "distant" so cold fills pick way 0 first.
+        self._rrpv: List[int] = [self.rrpv_max] * (num_sets * assoc)
+        self.hit_array = self._rrpv
+
+    def hit_slot(self, slot: int) -> None:
+        self._rrpv[slot] = 0
+
+    def _insert_rrpv(self) -> int:
+        return self.rrpv_max - 1
+
+    def insert_slot(self, slot: int) -> None:
+        self._rrpv[slot] = self._insert_rrpv()
+
+    def victim_slot(self, set_index: int) -> int:
+        base = set_index * self.assoc
+        rrpv = self._rrpv
+        distant = self.rrpv_max
+        while True:
+            for slot in range(base, base + self.assoc):
+                if rrpv[slot] == distant:
+                    return slot
+            for slot in range(base, base + self.assoc):
+                rrpv[slot] += 1
+
+
+class BrripPolicy(SrripPolicy):
+    """Bimodal RRIP: insert distant most of the time, long occasionally.
+
+    Designed for streaming/thrashing access patterns such as OLTP
+    instruction fetch (this is why the paper's Fig. 9 shows BRRIP as the
+    best standalone policy for the baseline).
+    """
+
+    name = "brrip"
+    epsilon = 1.0 / 32.0
+
+    def _insert_rrpv(self) -> int:
+        if self.rng.random() < self.epsilon:
+            return self.rrpv_max - 1
+        return self.rrpv_max
+
+
+# ----------------------------------------------------------------------
+# Reference implementations (pre-optimization structures)
+# ----------------------------------------------------------------------
+class _SetWayAdapter(ReplacementPolicy):
+    """Slot interface expressed via the classic (set, way) methods."""
+
+    def hit_slot(self, slot: int) -> None:
+        self.on_hit(slot // self.assoc, slot % self.assoc)
+
+    def insert_slot(self, slot: int) -> None:
+        self.on_insert(slot // self.assoc, slot % self.assoc)
+
+    def victim_slot(self, set_index: int) -> int:
+        return set_index * self.assoc + self.victim_way(set_index)
+
+
+class _ReferenceStackPolicy(_SetWayAdapter):
+    """Recency stacks as per-set Python lists, ordered MRU-first.
+
+    This is the original O(assoc)-per-access implementation the age
+    stamps replaced; it remains the ground truth for the parity suite.
+    """
+
+    promote_on_hit = True
+
+    def __init__(self, num_sets: int, assoc: int, rng: random.Random):
+        super().__init__(num_sets, assoc, rng)
+        self._stacks: List[List[int]] = [
+            list(range(assoc)) for _ in range(num_sets)
+        ]
+
+    def on_hit(self, set_index: int, way: int) -> None:
+        if self.promote_on_hit:
+            stack = self._stacks[set_index]
+            stack.remove(way)
+            stack.insert(0, way)
+
+    def _insert_position(self, set_index: int) -> int:
+        raise NotImplementedError
+
+    def on_insert(self, set_index: int, way: int) -> None:
+        stack = self._stacks[set_index]
+        stack.remove(way)
+        stack.insert(self._insert_position(set_index), way)
+
+    def victim_way(self, set_index: int) -> int:
+        return self._stacks[set_index][-1]
+
+
+class ReferenceLruPolicy(_ReferenceStackPolicy):
+    name = "lru"
+
+    def _insert_position(self, set_index: int) -> int:
+        return 0
+
+
+class ReferenceFifoPolicy(_ReferenceStackPolicy):
+    name = "fifo"
+    promote_on_hit = False
+
+    def _insert_position(self, set_index: int) -> int:
+        return 0
+
+
+class ReferenceLipPolicy(_ReferenceStackPolicy):
+    name = "lip"
+
+    def _insert_position(self, set_index: int) -> int:
+        return self.assoc - 1
+
+
+class ReferenceBipPolicy(_ReferenceStackPolicy):
+    name = "bip"
+    epsilon = BipPolicy.epsilon
+
+    def _insert_position(self, set_index: int) -> int:
+        if self.rng.random() < self.epsilon:
+            return 0
+        return self.assoc - 1
+
+
+class ReferenceDipPolicy(_ReferenceStackPolicy):
+    name = "dip"
+    psel_bits = DipPolicy.psel_bits
+    leader_period = DipPolicy.leader_period
+
+    def __init__(self, num_sets: int, assoc: int, rng: random.Random):
+        super().__init__(num_sets, assoc, rng)
+        self._psel = (1 << self.psel_bits) // 2
+        self._psel_max = (1 << self.psel_bits) - 1
+
+    _set_role = DipPolicy._set_role
+    on_miss = DipPolicy.on_miss
+    _bip_position = DipPolicy._bip_position
+    _insert_position = DipPolicy._insert_position
+
+
+class ReferenceSrripPolicy(_SetWayAdapter):
+    """SRRIP over per-set RRPV lists (the original nested layout)."""
+
+    name = "srrip"
+    rrpv_bits = SrripPolicy.rrpv_bits
+
+    def __init__(self, num_sets: int, assoc: int, rng: random.Random):
+        super().__init__(num_sets, assoc, rng)
+        self.rrpv_max = (1 << self.rrpv_bits) - 1
         self._rrpv: List[List[int]] = [
             [self.rrpv_max] * assoc for _ in range(num_sets)
         ]
@@ -232,16 +461,9 @@ class SrripPolicy(ReplacementPolicy):
                 rrpvs[way] += 1
 
 
-class BrripPolicy(SrripPolicy):
-    """Bimodal RRIP: insert distant most of the time, long occasionally.
-
-    Designed for streaming/thrashing access patterns such as OLTP
-    instruction fetch (this is why the paper's Fig. 9 shows BRRIP as the
-    best standalone policy for the baseline).
-    """
-
+class ReferenceBrripPolicy(ReferenceSrripPolicy):
     name = "brrip"
-    epsilon = 1.0 / 32.0
+    epsilon = BrripPolicy.epsilon
 
     def _insert_rrpv(self) -> int:
         if self.rng.random() < self.epsilon:
@@ -249,7 +471,9 @@ class BrripPolicy(SrripPolicy):
         return self.rrpv_max
 
 
-_POLICIES: Dict[str, Callable[[int, int, random.Random], ReplacementPolicy]]
+PolicyFactory = Callable[[int, int, random.Random], ReplacementPolicy]
+
+_POLICIES: Dict[str, PolicyFactory]
 _POLICIES = {
     cls.name: cls
     for cls in (
@@ -264,6 +488,21 @@ _POLICIES = {
     )
 }
 
+_REFERENCE_POLICIES: Dict[str, PolicyFactory]
+_REFERENCE_POLICIES = {
+    cls.name: cls
+    for cls in (
+        ReferenceLruPolicy,
+        ReferenceFifoPolicy,
+        RandomPolicy,  # stateless: shared by both paths
+        ReferenceLipPolicy,
+        ReferenceBipPolicy,
+        ReferenceDipPolicy,
+        ReferenceSrripPolicy,
+        ReferenceBrripPolicy,
+    )
+}
+
 
 def policy_names() -> List[str]:
     """Names of all registered replacement policies."""
@@ -271,11 +510,22 @@ def policy_names() -> List[str]:
 
 
 def make_policy(
-    name: str, num_sets: int, assoc: int, rng: random.Random
+    name: str,
+    num_sets: int,
+    assoc: int,
+    rng: random.Random,
+    reference: Optional[bool] = None,
 ) -> ReplacementPolicy:
-    """Instantiate a registered replacement policy by name."""
+    """Instantiate a registered replacement policy by name.
+
+    ``reference`` picks the implementation family; ``None`` (the
+    default) follows :func:`repro.fastpath.reference_mode`.
+    """
+    if reference is None:
+        reference = reference_mode()
+    registry = _REFERENCE_POLICIES if reference else _POLICIES
     try:
-        factory = _POLICIES[name]
+        factory = registry[name]
     except KeyError:
         raise ValueError(
             f"unknown replacement policy {name!r}; "

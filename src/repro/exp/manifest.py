@@ -23,7 +23,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 @dataclass(frozen=True)
 class ManifestEntry:
-    """One manifest row."""
+    """One manifest row.
+
+    ``ts`` (epoch seconds) and ``sweep`` (an opaque per-:meth:`run`
+    identifier) were added for retention: ``--since`` filters on the
+    former, ``--keep-last`` groups rows by the latter.  Rows written by
+    older versions carry neither and are treated as the oldest.
+    """
 
     key: str
     spec: dict
@@ -31,6 +37,8 @@ class ManifestEntry:
     wall_s: float
     worker: Optional[int] = None
     attempts: int = 1
+    ts: Optional[float] = None
+    sweep: Optional[str] = None
 
     def to_json(self) -> str:
         return json.dumps(dataclasses.asdict(self), sort_keys=True)
@@ -70,6 +78,38 @@ class Manifest:
             except (json.JSONDecodeError, TypeError):
                 continue
         return entries
+
+    def compact(self, keep_last: int) -> Tuple[int, int]:
+        """Keep only the rows of the last ``keep_last`` sweeps.
+
+        Rows are grouped by their ``sweep`` id; groups are ordered by
+        each group's latest timestamp (rows without ``ts``/``sweep`` —
+        written before retention existed — form one group that sorts
+        oldest).  The file is rewritten atomically via a temp file in
+        the same directory.
+
+        Returns:
+            ``(kept, dropped)`` row counts.
+        """
+        if keep_last <= 0:
+            raise ValueError("keep_last must be positive")
+        entries = self.read()
+        if not entries:
+            return (0, 0)
+        latest: Dict[Optional[str], float] = {}
+        for entry in entries:
+            ts = entry.ts if entry.ts is not None else float("-inf")
+            group = entry.sweep
+            if group not in latest or ts > latest[group]:
+                latest[group] = ts
+        keep = set(sorted(latest, key=lambda g: latest[g])[-keep_last:])
+        kept = [e for e in entries if e.sweep in keep]
+        tmp = self.path.with_suffix(".tmp")
+        with open(tmp, "w") as handle:
+            for entry in kept:
+                handle.write(entry.to_json() + "\n")
+        tmp.replace(self.path)
+        return (len(kept), len(entries) - len(kept))
 
 
 def _entry_label(entry: ManifestEntry) -> str:

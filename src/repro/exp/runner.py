@@ -25,9 +25,11 @@ from __future__ import annotations
 import os
 import signal
 import time
+import uuid
+from collections import OrderedDict
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.analysis.overlap import OverlapAnalysis, OverlapResult
 from repro.core.fptable import FootprintResult, profile_fptable
@@ -60,6 +62,55 @@ class RunError(RuntimeError):
         self.attempts = attempts
 
 
+#: Per-process memo of generated trace sets.  A sweep typically varies
+#: schedulers/cores/overrides over few distinct workload settings, so
+#: each worker regenerates the same traces over and over without this.
+#: Bounded LRU: trace sets are a few MB each at default scale.
+_TRACE_MEMO: "OrderedDict[tuple, tuple]" = OrderedDict()
+_TRACE_MEMO_MAX = 32
+
+
+def _workload_traces(spec: RunSpec, l1i_blocks: int) -> Tuple[str, list]:
+    """``(workload_name, traces)`` for a spec, memoized per process.
+
+    Trace generation is a pure function of the key fields (workload
+    suite, L1-I geometry, seeds, mode, type, counts), so sharing one
+    trace set across a sweep's cells is safe: traces are immutable by
+    convention and the engine's derived-view memos
+    (:meth:`~repro.trace.trace.TransactionTrace.packed_events`) stay
+    warm across cells as a bonus.
+    """
+    mix_seed = spec.effective_mix_seed()
+    key = (spec.workload, l1i_blocks, spec.seed, spec.mode,
+           spec.txn_type, spec.transactions, spec.replicas, mix_seed)
+    memo = _TRACE_MEMO.get(key)
+    if memo is not None:
+        _TRACE_MEMO.move_to_end(key)
+        return memo
+    workload = make_workload(spec.workload, l1i_blocks, spec.seed)
+    if spec.mode == "mix":
+        traces = workload.generate_mix(spec.transactions, seed=mix_seed)
+    elif spec.mode in ("uniform", "overlap"):
+        traces = workload.generate_uniform(
+            spec.txn_type, spec.transactions, seed=mix_seed)
+    elif spec.mode == "identical":
+        traces = replicate_instances(
+            workload, spec.txn_type, instances=spec.transactions,
+            replicas=spec.replicas, seed=mix_seed)
+    elif spec.mode == "fptable":
+        traces = []
+        for type_name in workload.type_names():
+            traces += workload.generate_uniform(
+                type_name, spec.transactions, seed=mix_seed)
+    else:  # pragma: no cover - spec validation rejects unknown modes
+        raise ValueError(f"unknown mode {spec.mode!r}")
+    memo = (workload.name, traces)
+    _TRACE_MEMO[key] = memo
+    if len(_TRACE_MEMO) > _TRACE_MEMO_MAX:
+        _TRACE_MEMO.popitem(last=False)
+    return memo
+
+
 def execute_spec(spec: RunSpec):
     """Execute one spec end to end (config, workload, traces, run).
 
@@ -68,40 +119,24 @@ def execute_spec(spec: RunSpec):
     returns an :class:`OverlapResult`, and ``fptable`` a
     :class:`FootprintResult` — every mode's result type is registered
     in :data:`repro.exp.cache.RESULT_TYPES` so it caches identically.
+    Trace generation is memoized per process (see
+    :func:`_workload_traces`).
     """
     config = spec.build_config()
-    workload = make_workload(spec.workload, config.l1i_blocks, spec.seed)
-    mix_seed = spec.effective_mix_seed()
-    if spec.mode == "mix":
-        traces = workload.generate_mix(spec.transactions, seed=mix_seed)
-    elif spec.mode == "uniform":
-        traces = workload.generate_uniform(
-            spec.txn_type, spec.transactions, seed=mix_seed)
-    elif spec.mode == "identical":
-        traces = replicate_instances(
-            workload, spec.txn_type, instances=spec.transactions,
-            replicas=spec.replicas, seed=mix_seed)
-    elif spec.mode == "overlap":
-        traces = workload.generate_uniform(
-            spec.txn_type, spec.transactions, seed=mix_seed)
+    workload_name, traces = _workload_traces(spec, config.l1i_blocks)
+    if spec.mode == "overlap":
         analysis = OverlapAnalysis(config)
         return OverlapResult(txn_type=spec.txn_type,
                              intervals=analysis.run(traces))
-    elif spec.mode == "fptable":
-        traces = []
-        for type_name in workload.type_names():
-            traces += workload.generate_uniform(
-                type_name, spec.transactions, seed=mix_seed)
+    if spec.mode == "fptable":
         table = profile_fptable(traces, config,
                                 samples_per_type=spec.transactions)
         return FootprintResult(units_by_type=table.as_dict())
-    else:  # pragma: no cover - spec validation rejects unknown modes
-        raise ValueError(f"unknown mode {spec.mode!r}")
     return simulate(
         config,
         traces,
         spec.scheduler,
-        workload.name,
+        workload_name,
         prefetcher=spec.prefetcher,
         team_size=spec.team_size,
     )
@@ -175,6 +210,7 @@ class Runner:
         self.hits = 0
         self.misses = 0
         self.entries: List[ManifestEntry] = []
+        self._sweep_id = uuid.uuid4().hex[:12]
         self._pool: Optional[ProcessPoolExecutor] = None
 
     # ------------------------------------------------------------------
@@ -195,6 +231,9 @@ class Runner:
         self.hits = 0
         self.misses = 0
         self.entries = []
+        # One id per run() call: manifest retention ("keep the last N
+        # sweeps") groups rows by it.
+        self._sweep_id = uuid.uuid4().hex[:12]
 
         keys = [spec_key(spec) for spec in specs]
         results: List[Optional[object]] = [None] * len(specs)
@@ -306,6 +345,8 @@ class Runner:
             wall_s=round(wall, 6),
             worker=worker,
             attempts=attempts,
+            ts=round(time.time(), 3),
+            sweep=self._sweep_id,
         )
         self.entries.append(entry)
         if self.manifest is not None:

@@ -1,0 +1,28 @@
+"""Fast-path / reference-path selection for the simulation kernel.
+
+The simulator ships two implementations of its hot path (flat-array
+caches + age-counter replacement + specialized event loops, versus the
+original per-set structures + recency stacks + general loop).  Both
+produce bit-identical :class:`~repro.sim.results.RunResult` metrics;
+the reference path exists so differential tests can prove it.
+
+Selection is via the environment::
+
+    REPRO_SIM_REFERENCE=1 python -m repro ...
+
+The flag is read at *construction* time of each cache / engine, so a
+simulation never mixes paths mid-run.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Environment variable selecting the reference (pre-optimization)
+#: simulation path.  Any value other than empty/"0" enables it.
+ENV_VAR = "REPRO_SIM_REFERENCE"
+
+
+def reference_mode() -> bool:
+    """True when the reference simulation path is requested."""
+    return os.environ.get(ENV_VAR, "") not in ("", "0")

@@ -1,0 +1,11 @@
+"""Tracked performance benchmarks for the simulation kernel.
+
+``python -m repro perf`` measures the specialized engine loops against
+the reference implementation (``REPRO_SIM_REFERENCE=1``) on identical
+traces, verifies the two paths still agree bit-for-bit, and writes the
+numbers to ``BENCH_sim.json`` so regressions show up in review.
+"""
+
+from repro.perf.bench import run_bench, write_bench
+
+__all__ = ["run_bench", "write_bench"]

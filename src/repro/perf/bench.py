@@ -1,0 +1,159 @@
+"""Simulation-kernel microbenchmark (``python -m repro perf``).
+
+Measures how fast the engine replays trace events on the specialized
+fast path versus the reference implementation, on the *same traces in
+the same process*.  Both paths are warmed first (trace memos, allocator
+state), then timed over interleaved repeats with the minimum wall time
+kept -- the most reproducible statistic on a shared machine.  Before
+any timing is trusted, the two paths' full :class:`RunResult` dicts are
+compared; a mismatch raises rather than recording a meaningless number.
+
+The report is written as JSON (``BENCH_sim.json`` at the repo root by
+convention) so CI can archive it and reviews can diff it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+from typing import Dict, Iterable, Optional
+
+from repro.config import SCALES
+from repro.fastpath import ENV_VAR
+from repro.sim.api import SCHEDULERS, simulate
+from repro.workloads import WORKLOADS
+
+#: Schedulers timed individually on the fast path.
+DEFAULT_SCHEDULERS = ("base", "strex", "slicc", "hybrid", "smt")
+
+
+def _set_reference(on: bool) -> None:
+    if on:
+        os.environ[ENV_VAR] = "1"
+    else:
+        os.environ.pop(ENV_VAR, None)
+
+
+def _time_run(config, traces, scheduler: str, workload: str) -> float:
+    start = time.perf_counter()
+    simulate(config, traces, scheduler, workload)
+    return time.perf_counter() - start
+
+
+def run_bench(
+    scale: str = "default",
+    workload: str = "tpcc",
+    transactions: int = 40,
+    repeats: int = 5,
+    seed: int = 1013,
+    cores: Optional[int] = None,
+    schedulers: Iterable[str] = DEFAULT_SCHEDULERS,
+) -> Dict[str, object]:
+    """Benchmark the kernel; returns the JSON-ready report dict.
+
+    The headline number is ``speedup``: fast-path events/second over
+    reference events/second for the ``base`` scheduler, which exercises
+    the tightest loop.  Parity between the paths is asserted before
+    timing.
+    """
+    if scale not in SCALES:
+        raise ValueError(
+            f"unknown scale {scale!r}; choose from {sorted(SCALES)}")
+    if workload not in WORKLOADS:
+        raise ValueError(
+            f"unknown workload {workload!r}; "
+            f"choose from {sorted(WORKLOADS)}")
+    schedulers = tuple(schedulers)
+    for name in schedulers:
+        if name not in SCHEDULERS:
+            raise ValueError(f"unknown scheduler {name!r}")
+    config = SCALES[scale]() if cores is None \
+        else SCALES[scale](num_cores=cores)
+    suite = WORKLOADS[workload](config.l1i_blocks, seed)
+    traces = suite.generate_mix(transactions, seed=seed)
+    events = sum(len(trace) for trace in traces)
+    saved = os.environ.get(ENV_VAR)
+    try:
+        # Warm both paths and check parity while doing so.
+        _set_reference(False)
+        fast_result = simulate(config, traces, "base", workload)
+        _set_reference(True)
+        ref_result = simulate(config, traces, "base", workload)
+        parity = fast_result.to_dict() == ref_result.to_dict()
+        if not parity:
+            raise AssertionError(
+                "fast and reference paths disagree; fix parity before "
+                "benchmarking (run the tests in tests/test_parity.py)")
+        fast_wall = []
+        ref_wall = []
+        for _ in range(max(1, repeats)):
+            _set_reference(False)
+            fast_wall.append(_time_run(config, traces, "base", workload))
+            _set_reference(True)
+            ref_wall.append(_time_run(config, traces, "base", workload))
+        _set_reference(False)
+        per_scheduler = {
+            name: round(_time_run(config, traces, name, workload), 4)
+            for name in schedulers
+        }
+    finally:
+        if saved is None:
+            os.environ.pop(ENV_VAR, None)
+        else:
+            os.environ[ENV_VAR] = saved
+    fast_s = min(fast_wall)
+    ref_s = min(ref_wall)
+    return {
+        "bench": "sim_kernel",
+        "scale": scale,
+        "workload": workload,
+        "transactions": transactions,
+        "cores": config.num_cores,
+        "seed": seed,
+        "events": events,
+        "repeats": max(1, repeats),
+        "parity": parity,
+        "fast": {
+            "wall_s": round(fast_s, 4),
+            "events_per_s": round(events / fast_s),
+        },
+        "reference": {
+            "wall_s": round(ref_s, 4),
+            "events_per_s": round(events / ref_s),
+        },
+        "speedup": round(ref_s / fast_s, 3),
+        "schedulers_wall_s": per_scheduler,
+        "python": platform.python_version(),
+        "timestamp": time.time(),
+    }
+
+
+def write_bench(report: Dict[str, object], out: Path) -> None:
+    """Write the report as stable, diff-friendly JSON."""
+    out = Path(out)
+    out.write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+
+def format_report(report: Dict[str, object]) -> str:
+    """Human-readable one-screen summary of a bench report."""
+    fast = report["fast"]
+    ref = report["reference"]
+    lines = [
+        f"sim kernel bench: {report['workload']} @ {report['scale']} "
+        f"scale, {report['cores']} cores, {report['events']} events, "
+        f"min of {report['repeats']} repeats",
+        f"  fast:      {fast['wall_s']:.3f}s "
+        f"({fast['events_per_s']:,} events/s)",
+        f"  reference: {ref['wall_s']:.3f}s "
+        f"({ref['events_per_s']:,} events/s)",
+        f"  speedup:   x{report['speedup']:.2f} "
+        f"(parity {'OK' if report['parity'] else 'FAILED'})",
+        "  scheduler wall times (fast path):",
+    ]
+    for name, wall in report["schedulers_wall_s"].items():
+        lines.append(f"    {name:7s} {wall:.3f}s")
+    return "\n".join(lines)

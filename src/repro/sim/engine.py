@@ -23,6 +23,7 @@ from typing import Callable, List, Optional
 
 from repro.cache.hierarchy import MemoryHierarchy
 from repro.config import SystemConfig
+from repro.fastpath import reference_mode
 from repro.prefetch.base import InstructionPrefetcher, NoPrefetcher
 from repro.sim.results import RunResult
 from repro.sim.thread import TxnThread
@@ -60,7 +61,23 @@ class SimulationEngine:
             else NoPrefetcher(config.num_cores)
         )
         self.prefetcher_active = prefetcher.name != "none"
+        # Kernel selection is latched at construction so one simulation
+        # never mixes the fast and reference paths; the hierarchy below
+        # reads the same flag when choosing its cache layout.
+        self._fast_kernel = not reference_mode()
         self.hier = MemoryHierarchy(config, prefetcher)
+        # The deepest specialization additionally requires always-MRU
+        # age policies (LRU/FIFO) on the L1-I and L2 so fills can be
+        # inlined as plain array stores.
+        self._age_kernel = (
+            self._fast_kernel
+            and self.hier.l1i[0].policy.insert_mode == "age_mru"
+            and self.hier.l2[0].policy.insert_mode == "age_mru"
+        )
+        self._base_cpi = config.core.base_cpi
+        self._l1i_sets = self.hier.l1i[0].num_sets
+        if self._age_kernel:
+            self._age_statics = self._build_age_statics()
         self.threads = [
             TxnThread(i, trace) for i, trace in enumerate(traces)
         ]
@@ -100,6 +117,38 @@ class SimulationEngine:
 
         Returns:
             The number of events executed.
+        """
+        if self._fast_kernel and not self.prefetcher_active:
+            if self._age_kernel:
+                if miss_log is None and not stop_on_switch:
+                    return self._run_events_tight_age(
+                        core, thread, max_events, tag)
+                return self._run_events_fast_age(
+                    core, thread, max_events, tag, stop_on_switch,
+                    miss_log, stop_after_misses)
+            return self._run_events_fast(core, thread, max_events, tag,
+                                         stop_on_switch, miss_log,
+                                         stop_after_misses)
+        return self._run_events_general(core, thread, max_events, tag,
+                                        stop_on_switch, miss_log,
+                                        stop_after_misses)
+
+    def _run_events_general(
+        self,
+        core: int,
+        thread: TxnThread,
+        max_events: int,
+        tag: int = 0,
+        stop_on_switch: bool = False,
+        miss_log: Optional[list] = None,
+        stop_after_misses: int = 0,
+    ) -> int:
+        """The general event loop (also the reference kernel).
+
+        Handles every feature: prefetchers, STREX switch monitoring,
+        SLICC miss logging/bounding.  ``REPRO_SIM_REFERENCE=1`` routes
+        all replay through this loop over the reference cache layout;
+        the specialized loops below must match it bit for bit.
         """
         trace = thread.trace
         iblocks = trace.iblocks
@@ -161,6 +210,518 @@ class SimulationEngine:
                     and len(miss_log) >= stop_after_misses:
                 break
 
+        thread.pos = pos
+        thread.instructions_done += instructions
+        self.total_instructions += instructions
+        self.core_time[core] += int(cycles)
+        return pos - start
+
+    def _run_events_fast(
+        self,
+        core: int,
+        thread: TxnThread,
+        max_events: int,
+        tag: int,
+        stop_on_switch: bool,
+        miss_log: Optional[list],
+        stop_after_misses: int,
+    ) -> int:
+        """Specialized loop: inlined L1 probes, no prefetcher.
+
+        Semantically identical to :meth:`_run_events_general` with
+        ``use_prefetcher`` false.  The L1-I hit path is a single dict
+        probe plus a tag store and an in-place recency bump (dispatched
+        on ``policy.hit_mode``); L1-D read hits that cannot change
+        directory state are resolved inline the same way.  Cycle
+        additions happen in the same order with the same operands as
+        the general loop, so the float total is bit-identical.
+        """
+        trace = thread.trace
+        events = trace.packed_events(self._base_cpi, self._l1i_sets)
+        pos = thread.pos
+        end = min(len(events), pos + max_events)
+        start = pos
+        hier = self.hier
+        l1i = hier.l1i[core]
+        i_where_get = l1i._where.get
+        i_tags = l1i._slot_tags
+        i_pol = l1i.policy
+        i_mode = i_pol.hit_mode
+        i_ages = i_pol.hit_array
+        i_miss_fill = l1i.miss_fill
+        l1d = hier.l1d[core]
+        d_where_get = l1d._where.get
+        d_tags = l1d._slot_tags
+        d_pol = l1d.policy
+        d_mode = d_pol.hit_mode
+        d_ages = d_pol.hit_array
+        l1d_stats = l1d.stats
+        l1d_hit_latency = l1d.config.hit_latency
+        directory_get = hier._directory.get
+        access_data = hier.access_data
+        l2_access = hier._l2_access
+        cycles = 0.0
+        instructions = 0
+        i_hits = 0
+        d_hits = 0
+
+        while pos < end:
+            iblock, icycles, ilen, dblock, dwrite, iset = events[pos]
+            instructions += ilen
+            cycles += icycles
+            slot = i_where_get(iblock)
+            if slot is not None:
+                i_hits += 1
+                i_tags[slot] = tag
+                if i_mode == "age":
+                    tick = i_pol._tick
+                    i_ages[slot] = tick
+                    i_pol._tick = tick + 1
+                elif i_mode == "zero":
+                    i_ages[slot] = 0
+                elif i_mode == "call":
+                    i_pol.hit_slot(slot)
+            else:
+                i_miss_fill(iblock, tag, iset)
+                cycles += l2_access(core, iblock)
+                if miss_log is not None:
+                    miss_log.append(iblock)
+            if dblock >= 0:
+                # Hits whose directory transition is a no-op -- reads
+                # with no remote owner, writes already held exclusive
+                # -- resolve inline (latency contribution is exactly
+                # zero).  Everything else takes the full coherent path.
+                slot = d_where_get(dblock)
+                entry = directory_get(dblock) \
+                    if slot is not None else None
+                if entry is None:
+                    cycles += (
+                        access_data(core, dblock, dwrite)
+                        - l1d_hit_latency
+                    )
+                elif (
+                    (entry.owner == core and len(entry.sharers) == 1)
+                    if dwrite else
+                    (core in entry.sharers
+                     and (entry.owner is None
+                          or entry.owner == core))
+                ):
+                    d_hits += 1
+                    d_tags[slot] = 0
+                    if d_mode == "age":
+                        tick = d_pol._tick
+                        d_ages[slot] = tick
+                        d_pol._tick = tick + 1
+                    elif d_mode == "zero":
+                        d_ages[slot] = 0
+                    elif d_mode == "call":
+                        d_pol.hit_slot(slot)
+                else:
+                    cycles += (
+                        access_data(core, dblock, dwrite)
+                        - l1d_hit_latency
+                    )
+            pos += 1
+            if stop_on_switch and self.switch_requested:
+                break
+            if stop_after_misses and miss_log is not None \
+                    and len(miss_log) >= stop_after_misses:
+                break
+
+        l1i.stats.hits += i_hits
+        l1d_stats.hits += d_hits
+        thread.pos = pos
+        thread.instructions_done += instructions
+        self.total_instructions += instructions
+        self.core_time[core] += int(cycles)
+        return pos - start
+
+    def _build_age_statics(self) -> List[tuple]:
+        """Per-core local-variable bundles for the age-specialized loops.
+
+        Everything here is structurally constant for the lifetime of the
+        engine -- cache storage arrays are mutated in place, never
+        rebound (:meth:`Cache.flush` honours this) -- so the loops pay
+        one tuple unpack per slice instead of dozens of attribute
+        chases.  The L1-I victim callback is the one dynamic piece
+        (STREX installs and removes it at runtime) and is fetched per
+        call.
+        """
+        hier = self.hier
+        l2_caches = hier.l2
+        l2_shared = (
+            [c._where for c in l2_caches],
+            [c._slot_blocks for c in l2_caches],
+            [c._slot_tags for c in l2_caches],
+            [c._set_len for c in l2_caches],
+            [c.policy for c in l2_caches],
+            [c.policy._ages for c in l2_caches],
+            [c.stats for c in l2_caches],
+            [c.victim_callback for c in l2_caches],
+            l2_caches[0].assoc,
+            l2_caches[0].num_sets,
+            l2_caches[0]._power_of_two,
+            l2_caches[0]._set_mask,
+            l2_caches[0].policy.promote_on_hit,
+            hier._num_cores,
+            hier.dram.access,
+            hier._directory.get,
+            hier.access_data,
+        )
+        statics = []
+        for core in range(self.config.num_cores):
+            l1i = hier.l1i[core]
+            l1d = hier.l1d[core]
+            statics.append((
+                l1i,
+                l1i._where,
+                l1i._slot_blocks,
+                l1i._slot_tags,
+                l1i._set_len,
+                l1i.assoc,
+                l1i.policy,
+                l1i.policy._ages,
+                l1i.policy.promote_on_hit,
+                hier.noc._hops[core],
+                hier._l2_roundtrip[core],
+                l1d._where.get,
+                l1d._slot_tags,
+                l1d.policy,
+                l1d.policy.hit_mode,
+                l1d.policy.hit_array,
+                l1d.stats,
+                l1d.config.hit_latency,
+            ) + l2_shared)
+        return statics
+
+    def _run_events_tight_age(
+        self,
+        core: int,
+        thread: TxnThread,
+        max_events: int,
+        tag: int,
+    ) -> int:
+        """Tightest loop: the common configuration on LRU/FIFO caches.
+
+        No prefetcher, no miss log, no switch monitoring -- the
+        baseline/SMT schedulers and STREX outside its monitored window.
+        The entire L1-I and L2 access/fill machinery is inlined as
+        dict/array operations over the flat cache layout; replacement
+        is the age-stamp dance directly.  Charges and side effects are
+        ordered exactly as in :meth:`_run_events_general`.  With no
+        early-exit conditions the event walk is a ``for`` over a list
+        slice -- no per-event index arithmetic at all.
+        """
+        (l1i, i_where, i_slot_blocks, i_tags, i_set_len,
+         i_assoc, i_pol, i_ages, i_promote, hops_row, lat2_row,
+         d_where_get, d_tags, d_pol, d_mode, d_ages, l1d_stats,
+         l1d_hit_latency,
+         l2_wheres, l2_blocks, l2_tagsl, l2_set_len, l2_pols,
+         l2_agesl, l2_statsl, l2_cbs, l2_assoc, l2_nsets, l2_pot,
+         l2_mask, l2_promote, num_cores, dram_access, directory_get,
+         access_data) = self._age_statics[core]
+        trace = thread.trace
+        events = trace.packed_events(self._base_cpi, self._l1i_sets)
+        i_victim_cb = l1i.victim_callback
+        i_where_get = i_where.get
+        i_tick = i_pol._tick
+        pos = thread.pos
+        end = min(len(events), pos + max_events)
+        # The loop cannot exit early, so the slice's instruction count
+        # comes from the prefix sums rather than a per-event add.
+        prefix = trace.instruction_prefix()
+        instructions = prefix[end] - prefix[pos]
+        cycles = 0.0
+        i_hits = 0
+        i_misses = 0
+        i_evictions = 0
+        d_hits = 0
+        noc_hops = 0
+
+        for iblock, icycles, ilen, dblock, dwrite, iset in \
+                events[pos:end]:
+            cycles += icycles
+            slot = i_where_get(iblock)
+            if slot is not None:
+                i_hits += 1
+                i_tags[slot] = tag
+                if i_promote:
+                    i_ages[slot] = i_tick
+                    i_tick += 1
+            else:
+                # L1-I miss: fill (evicting by oldest age) ...
+                i_misses += 1
+                base = iset * i_assoc
+                if i_set_len[iset] < i_assoc:
+                    slot = i_slot_blocks.index(None, base,
+                                               base + i_assoc)
+                    i_set_len[iset] += 1
+                else:
+                    segment = i_ages[base:base + i_assoc]
+                    slot = base + segment.index(min(segment))
+                    victim = i_slot_blocks[slot]
+                    if i_victim_cb is not None:
+                        i_victim_cb(victim, i_tags[slot])
+                    i_evictions += 1
+                    del i_where[victim]
+                i_slot_blocks[slot] = iblock
+                i_tags[slot] = tag
+                i_where[iblock] = slot
+                i_ages[slot] = i_tick
+                i_tick += 1
+                # ... then the home L2 slice over the torus.
+                sid = iblock % num_cores
+                noc_hops += hops_row[sid]
+                latency = lat2_row[sid]
+                where2 = l2_wheres[sid]
+                slot2 = where2.get(iblock)
+                if slot2 is not None:
+                    l2_statsl[sid].hits += 1
+                    if l2_promote:
+                        pol2 = l2_pols[sid]
+                        l2_agesl[sid][slot2] = pol2._tick
+                        pol2._tick += 1
+                    l2_tagsl[sid][slot2] = 0
+                else:
+                    stats2 = l2_statsl[sid]
+                    stats2.misses += 1
+                    set2 = (iblock & l2_mask) if l2_pot \
+                        else (iblock % l2_nsets)
+                    base2 = set2 * l2_assoc
+                    blocks2 = l2_blocks[sid]
+                    if l2_set_len[sid][set2] < l2_assoc:
+                        slot2 = blocks2.index(None, base2,
+                                              base2 + l2_assoc)
+                        l2_set_len[sid][set2] += 1
+                    else:
+                        ages2 = l2_agesl[sid]
+                        segment = ages2[base2:base2 + l2_assoc]
+                        slot2 = base2 + segment.index(min(segment))
+                        victim = blocks2[slot2]
+                        cb = l2_cbs[sid]
+                        if cb is not None:
+                            cb(victim, l2_tagsl[sid][slot2])
+                        stats2.evictions += 1
+                        del where2[victim]
+                    blocks2[slot2] = iblock
+                    l2_tagsl[sid][slot2] = 0
+                    where2[iblock] = slot2
+                    pol2 = l2_pols[sid]
+                    l2_agesl[sid][slot2] = pol2._tick
+                    pol2._tick += 1
+                    latency += dram_access(iblock)
+                cycles += latency
+            if dblock >= 0:
+                slot = d_where_get(dblock)
+                entry = directory_get(dblock) \
+                    if slot is not None else None
+                if entry is None:
+                    cycles += (
+                        access_data(core, dblock, dwrite)
+                        - l1d_hit_latency
+                    )
+                elif (
+                    (entry.owner == core and len(entry.sharers) == 1)
+                    if dwrite else
+                    (core in entry.sharers
+                     and (entry.owner is None
+                          or entry.owner == core))
+                ):
+                    d_hits += 1
+                    d_tags[slot] = 0
+                    if d_mode == "age":
+                        tick = d_pol._tick
+                        d_ages[slot] = tick
+                        d_pol._tick = tick + 1
+                    elif d_mode == "zero":
+                        d_ages[slot] = 0
+                    elif d_mode == "call":
+                        d_pol.hit_slot(slot)
+                else:
+                    cycles += (
+                        access_data(core, dblock, dwrite)
+                        - l1d_hit_latency
+                    )
+
+        i_pol._tick = i_tick
+        i_stats = l1i.stats
+        i_stats.hits += i_hits
+        i_stats.misses += i_misses
+        i_stats.evictions += i_evictions
+        l1d_stats.hits += d_hits
+        # Exactly one L2 message crosses the torus per L1-I miss.
+        self.hier.l2_demand_traffic += i_misses
+        noc = self.hier.noc
+        noc.messages += i_misses
+        noc.total_hops += noc_hops
+        thread.pos = end
+        thread.instructions_done += instructions
+        self.total_instructions += instructions
+        self.core_time[core] += int(cycles)
+        return end - pos
+
+    def _run_events_fast_age(
+        self,
+        core: int,
+        thread: TxnThread,
+        max_events: int,
+        tag: int,
+        stop_on_switch: bool,
+        miss_log: Optional[list],
+        stop_after_misses: int,
+    ) -> int:
+        """:meth:`_run_events_tight_age` plus the monitored features.
+
+        Handles STREX switch monitoring and SLICC miss logging/bounding
+        with the same fully inlined cache machinery; only the per-event
+        epilogue differs from the tight loop.
+        """
+        (l1i, i_where, i_slot_blocks, i_tags, i_set_len,
+         i_assoc, i_pol, i_ages, i_promote, hops_row, lat2_row,
+         d_where_get, d_tags, d_pol, d_mode, d_ages, l1d_stats,
+         l1d_hit_latency,
+         l2_wheres, l2_blocks, l2_tagsl, l2_set_len, l2_pols,
+         l2_agesl, l2_statsl, l2_cbs, l2_assoc, l2_nsets, l2_pot,
+         l2_mask, l2_promote, num_cores, dram_access, directory_get,
+         access_data) = self._age_statics[core]
+        events = thread.trace.packed_events(self._base_cpi,
+                                            self._l1i_sets)
+        i_victim_cb = l1i.victim_callback
+        i_where_get = i_where.get
+        i_tick = i_pol._tick
+        pos = thread.pos
+        end = min(len(events), pos + max_events)
+        start = pos
+        cycles = 0.0
+        instructions = 0
+        i_hits = 0
+        i_misses = 0
+        i_evictions = 0
+        d_hits = 0
+        noc_hops = 0
+
+        while pos < end:
+            iblock, icycles, ilen, dblock, dwrite, iset = events[pos]
+            instructions += ilen
+            cycles += icycles
+            slot = i_where_get(iblock)
+            if slot is not None:
+                i_hits += 1
+                i_tags[slot] = tag
+                if i_promote:
+                    i_ages[slot] = i_tick
+                    i_tick += 1
+            else:
+                i_misses += 1
+                base = iset * i_assoc
+                if i_set_len[iset] < i_assoc:
+                    slot = i_slot_blocks.index(None, base,
+                                               base + i_assoc)
+                    i_set_len[iset] += 1
+                else:
+                    segment = i_ages[base:base + i_assoc]
+                    slot = base + segment.index(min(segment))
+                    victim = i_slot_blocks[slot]
+                    if i_victim_cb is not None:
+                        i_victim_cb(victim, i_tags[slot])
+                    i_evictions += 1
+                    del i_where[victim]
+                i_slot_blocks[slot] = iblock
+                i_tags[slot] = tag
+                i_where[iblock] = slot
+                i_ages[slot] = i_tick
+                i_tick += 1
+                sid = iblock % num_cores
+                noc_hops += hops_row[sid]
+                latency = lat2_row[sid]
+                where2 = l2_wheres[sid]
+                slot2 = where2.get(iblock)
+                if slot2 is not None:
+                    l2_statsl[sid].hits += 1
+                    if l2_promote:
+                        pol2 = l2_pols[sid]
+                        l2_agesl[sid][slot2] = pol2._tick
+                        pol2._tick += 1
+                    l2_tagsl[sid][slot2] = 0
+                else:
+                    stats2 = l2_statsl[sid]
+                    stats2.misses += 1
+                    set2 = (iblock & l2_mask) if l2_pot \
+                        else (iblock % l2_nsets)
+                    base2 = set2 * l2_assoc
+                    blocks2 = l2_blocks[sid]
+                    if l2_set_len[sid][set2] < l2_assoc:
+                        slot2 = blocks2.index(None, base2,
+                                              base2 + l2_assoc)
+                        l2_set_len[sid][set2] += 1
+                    else:
+                        ages2 = l2_agesl[sid]
+                        segment = ages2[base2:base2 + l2_assoc]
+                        slot2 = base2 + segment.index(min(segment))
+                        victim = blocks2[slot2]
+                        cb = l2_cbs[sid]
+                        if cb is not None:
+                            cb(victim, l2_tagsl[sid][slot2])
+                        stats2.evictions += 1
+                        del where2[victim]
+                    blocks2[slot2] = iblock
+                    l2_tagsl[sid][slot2] = 0
+                    where2[iblock] = slot2
+                    pol2 = l2_pols[sid]
+                    l2_agesl[sid][slot2] = pol2._tick
+                    pol2._tick += 1
+                    latency += dram_access(iblock)
+                cycles += latency
+                if miss_log is not None:
+                    miss_log.append(iblock)
+            if dblock >= 0:
+                slot = d_where_get(dblock)
+                entry = directory_get(dblock) \
+                    if slot is not None else None
+                if entry is None:
+                    cycles += (
+                        access_data(core, dblock, dwrite)
+                        - l1d_hit_latency
+                    )
+                elif (
+                    (entry.owner == core and len(entry.sharers) == 1)
+                    if dwrite else
+                    (core in entry.sharers
+                     and (entry.owner is None
+                          or entry.owner == core))
+                ):
+                    d_hits += 1
+                    d_tags[slot] = 0
+                    if d_mode == "age":
+                        tick = d_pol._tick
+                        d_ages[slot] = tick
+                        d_pol._tick = tick + 1
+                    elif d_mode == "zero":
+                        d_ages[slot] = 0
+                    elif d_mode == "call":
+                        d_pol.hit_slot(slot)
+                else:
+                    cycles += (
+                        access_data(core, dblock, dwrite)
+                        - l1d_hit_latency
+                    )
+            pos += 1
+            if stop_on_switch and self.switch_requested:
+                break
+            if stop_after_misses and miss_log is not None \
+                    and len(miss_log) >= stop_after_misses:
+                break
+
+        i_pol._tick = i_tick
+        i_stats = l1i.stats
+        i_stats.hits += i_hits
+        i_stats.misses += i_misses
+        i_stats.evictions += i_evictions
+        l1d_stats.hits += d_hits
+        self.hier.l2_demand_traffic += i_misses
+        noc = self.hier.noc
+        noc.messages += i_misses
+        noc.total_hops += noc_hops
         thread.pos = pos
         thread.instructions_done += instructions
         self.total_instructions += instructions
@@ -257,5 +818,8 @@ class SimulationEngine:
             l2_traffic=self.hier.l2_demand_traffic,
             extra={
                 "prefetch_coverage": self.hier.prefetcher.coverage,
+                "l1i_evictions": sum(
+                    c.stats.evictions for c in self.hier.l1i
+                ),
             },
         )

@@ -36,6 +36,10 @@ class TransactionTrace:
         "dblocks",
         "dwrites",
         "total_instructions",
+        "_unique_iblocks",
+        "_packed_events",
+        "_set_indices",
+        "_ilen_prefix",
     )
 
     def __init__(
@@ -57,6 +61,13 @@ class TransactionTrace:
         self.dblocks = dblocks
         self.dwrites = dwrites
         self.total_instructions = sum(ilens)
+        # Lazily-built derived views, shared by every run of a batch:
+        # the distinct-iblock set, packed per-event tuples keyed by
+        # base CPI, and L1-I set indices keyed by set count.
+        self._unique_iblocks: Optional[frozenset] = None
+        self._packed_events: dict = {}
+        self._set_indices: dict = {}
+        self._ilen_prefix: Optional[list] = None
 
     def __len__(self) -> int:
         return len(self.iblocks)
@@ -71,13 +82,72 @@ class TransactionTrace:
         """Iterate over (iblock, ilen, dblock, dwrite) tuples."""
         return zip(self.iblocks, self.ilens, self.dblocks, self.dwrites)
 
-    def unique_iblocks(self) -> set:
-        """Distinct instruction blocks touched (the static footprint)."""
-        return set(self.iblocks)
+    def unique_iblocks(self) -> frozenset:
+        """Distinct instruction blocks touched (the static footprint).
+
+        Memoized: FPTable profiling and the Table 3 analysis call this
+        repeatedly per trace.  The result is a frozenset so sharing the
+        memo is safe.
+        """
+        if self._unique_iblocks is None:
+            self._unique_iblocks = frozenset(self.iblocks)
+        return self._unique_iblocks
 
     def footprint_units(self, blocks_per_unit: int) -> float:
         """Instruction footprint in L1-I size units (Table 3's metric)."""
         return len(self.unique_iblocks()) / blocks_per_unit
+
+    def packed_events(self, cpi: float, num_sets: int) -> list:
+        """``(iblock, icycles, ilen, dblock, dwrite, iset)`` tuples.
+
+        ``icycles`` is ``ilen * cpi`` precomputed with exactly the
+        operands the engine's reference loop uses, so replaying the
+        packed form accumulates bit-identical float cycles; ``iset`` is
+        the L1-I set index of ``iblock`` for the given geometry.  Built
+        once per ``(cpi, num_sets)`` and shared by every run.
+        """
+        key = (cpi, num_sets)
+        packed = self._packed_events.get(key)
+        if packed is None:
+            isets = self.iblock_set_indices(num_sets)
+            packed = [
+                (iblock, ilen * cpi, ilen, dblock, dwrite, iset)
+                for iblock, ilen, dblock, dwrite, iset in zip(
+                    self.iblocks, self.ilens,
+                    self.dblocks, self.dwrites, isets)
+            ]
+            self._packed_events[key] = packed
+        return packed
+
+    def iblock_set_indices(self, num_sets: int) -> list:
+        """Per-event L1-I set index of each instruction block.
+
+        Matches ``Cache.set_index`` for the given geometry (mask for
+        powers of two, modulo otherwise); built once per ``num_sets``.
+        """
+        indices = self._set_indices.get(num_sets)
+        if indices is None:
+            if num_sets & (num_sets - 1) == 0:
+                mask = num_sets - 1
+                indices = [block & mask for block in self.iblocks]
+            else:
+                indices = [block % num_sets for block in self.iblocks]
+            self._set_indices[num_sets] = indices
+        return indices
+
+    def instruction_prefix(self) -> list:
+        """Cumulative instruction counts: ``prefix[i]`` is the total
+        instructions in events ``[0, i)``, so a slice's instruction
+        count is ``prefix[end] - prefix[start]``.  Memoized."""
+        prefix = self._ilen_prefix
+        if prefix is None:
+            prefix = [0] * (len(self.ilens) + 1)
+            total = 0
+            for i, ilen in enumerate(self.ilens):
+                total += ilen
+                prefix[i + 1] = total
+            self._ilen_prefix = prefix
+        return prefix
 
     def iblock_array(self) -> np.ndarray:
         """Instruction blocks as a NumPy array (for analysis)."""

@@ -1,0 +1,102 @@
+"""Differential parity: fast path vs ``REPRO_SIM_REFERENCE=1``.
+
+The engine's specialized loops, flat cache layout, and age-counter
+replacement must not change a single simulated number.  Each test here
+generates one trace set, runs it through both implementations *in the
+same process* (the path is latched when the engine is constructed, so
+toggling the environment variable between constructions is enough), and
+asserts the full :class:`RunResult` dicts are identical — cycles,
+MPKIs, coherence misses, NoC hops, everything.
+
+Trace generation itself is hash-seed dependent (pre-existing seed
+behaviour), which is why both paths must consume the *same* trace
+objects rather than regenerating per path.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.config import tiny_scale
+from repro.fastpath import ENV_VAR, reference_mode
+from repro.sim.api import SCHEDULERS, simulate
+from repro.workloads import WORKLOADS
+
+POLICIES = ("lru", "fifo", "random", "lip", "bip", "dip",
+            "srrip", "brrip")
+TRANSACTIONS = 8
+
+
+def _traces(workload: str, config, transactions: int = TRANSACTIONS):
+    suite = WORKLOADS[workload](config.l1i_blocks, 1013)
+    return suite.generate_mix(transactions, seed=1013)
+
+
+def _assert_parity(monkeypatch, config, traces, scheduler: str,
+                   workload: str, **kwargs) -> None:
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    assert not reference_mode()
+    fast = simulate(config, traces, scheduler, workload, **kwargs)
+    monkeypatch.setenv(ENV_VAR, "1")
+    assert reference_mode()
+    ref = simulate(config, traces, scheduler, workload, **kwargs)
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    assert fast.to_dict() == ref.to_dict()
+
+
+class TestSchedulerMatrix:
+    """Every scheduler, both workload suites, default (LRU) caches."""
+
+    @pytest.mark.parametrize("scheduler", sorted(SCHEDULERS))
+    @pytest.mark.parametrize("workload", sorted(WORKLOADS))
+    def test_scheduler_parity(self, monkeypatch, scheduler, workload):
+        config = tiny_scale()
+        traces = _traces(workload, config)
+        _assert_parity(monkeypatch, config, traces, scheduler, workload)
+
+
+class TestReplacementMatrix:
+    """Every replacement policy on all three cache levels.
+
+    ``base`` exercises the tightest specialized loop; ``strex`` adds
+    victim callbacks, cache flushes, and tag resets on top of it.
+    """
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("scheduler", ("base", "strex"))
+    def test_replacement_parity(self, monkeypatch, policy, scheduler):
+        config = tiny_scale().with_l1_replacement(policy)
+        config = dataclasses.replace(
+            config,
+            l2_slice=dataclasses.replace(config.l2_slice,
+                                         replacement=policy),
+        )
+        traces = _traces("tpcc", config)
+        _assert_parity(monkeypatch, config, traces, scheduler, "tpcc")
+
+
+class TestOtherShapes:
+    """Configurations off the common path."""
+
+    def test_prefetcher_parity(self, monkeypatch):
+        # An active prefetcher forces the general loop on the fast
+        # path, so this pins down cache-layer (not loop) parity.
+        config = tiny_scale()
+        traces = _traces("tpcc", config)
+        _assert_parity(monkeypatch, config, traces, "base", "tpcc",
+                       prefetcher="nextline")
+        _assert_parity(monkeypatch, config, traces, "strex", "tpcc",
+                       prefetcher="tifs")
+
+    def test_non_power_of_two_cores(self, monkeypatch):
+        # 3 cores: non-square torus and modulo home-slice mapping.
+        config = tiny_scale(num_cores=3)
+        traces = _traces("tpcc", config)
+        _assert_parity(monkeypatch, config, traces, "base", "tpcc")
+        _assert_parity(monkeypatch, config, traces, "strex", "tpcc")
+
+    def test_team_size_parity(self, monkeypatch):
+        config = tiny_scale()
+        traces = _traces("tpcc", config)
+        _assert_parity(monkeypatch, config, traces, "strex", "tpcc",
+                       team_size=2)
