@@ -21,6 +21,13 @@ Environment knobs:
   full orchestration/caching path in seconds, but the paper's shape
   assertions are calibrated at ``default`` scale, so benches gate them
   on :data:`PAPER_SHAPES`.
+* ``REPRO_BENCH_SHARD=i/N`` — compute only hash-range shard ``i`` of
+  every grid (see :class:`repro.exp.ShardSpec`).  CI matrix jobs use
+  this to split paper-scale grids: each job pays for its slice of the
+  cells, and a bench whose grid was only partially computed skips its
+  result-consuming assertions instead of failing on the holes.  Merge
+  the per-job caches with ``python -m repro shard --merge`` (or share
+  the cache directory) to get full results.
 """
 
 from __future__ import annotations
@@ -31,7 +38,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from repro.config import SCALES, SystemConfig
-from repro.exp import ResultCache, Runner, RunSpec, SweepSpec
+from repro.exp import ResultCache, Runner, RunSpec, ShardSpec, SweepSpec
 from repro.trace.trace import TransactionTrace
 from repro.workloads.mapreduce import MapReduceWorkload
 from repro.workloads.tpcc import TpccWorkload
@@ -67,6 +74,11 @@ if BENCH_SCALE not in SCALES:
 #: ``default`` scale; at other scales benches still run (and cache)
 #: every grid but skip those assertions.
 PAPER_SHAPES = BENCH_SCALE == "default"
+
+#: Optional "i/N" hash-range shard of every benchmark grid (parsed
+#: eagerly so a typo fails at import, like REPRO_BENCH_SCALE).
+BENCH_SHARD = os.environ.get("REPRO_BENCH_SHARD")
+_SHARD = ShardSpec.parse(BENCH_SHARD) if BENCH_SHARD else None
 
 #: Master seed for all benchmark workloads.
 SEED = 20130623  # ISCA'13
@@ -198,12 +210,28 @@ def run_grid(specs: Sequence[RunSpec], jobs: Optional[int] = None,
     to ``REPRO_BENCH_JOBS`` (0 = in-process) and caching to
     ``REPRO_BENCH_CACHE`` (on unless set to ``0``); the shared cache
     lives in ``benchmarks/out/.cache`` with its run manifest.
+
+    Under ``REPRO_BENCH_SHARD=i/N`` only the shard's cells are
+    computed (into the shared cache — per-job on CI, so the cache
+    artifact is this job's slice).  If that leaves holes in the grid,
+    the calling bench is *skipped* after the cells are paid for: the
+    split jobs populate the cache, and any executor that sees the
+    merged cache (or owns every cell) runs the assertions.
     """
     jobs = BENCH_JOBS if jobs is None else jobs
     use_cache = BENCH_CACHE if use_cache is None else use_cache
     cache = ResultCache(CACHE_DIR) if use_cache else None
-    runner = Runner(jobs=jobs, cache=cache)
-    return runner.run(specs)
+    runner = Runner(jobs=jobs, cache=cache, shard=_SHARD)
+    results = runner.run(specs)
+    if _SHARD is not None and runner.skipped:
+        import pytest
+
+        pytest.skip(
+            f"REPRO_BENCH_SHARD={BENCH_SHARD}: computed "
+            f"{len(specs) - runner.skipped}/{len(specs)} cell(s) of "
+            f"this grid into {CACHE_DIR}; merge shard caches for the "
+            f"full grid")
+    return results
 
 
 def reduction(base, other, metric: str = "i_mpki") -> float:

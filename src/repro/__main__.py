@@ -6,6 +6,13 @@ subcommand expands a full parameter grid and drives it through the
 ``repro.exp`` runner (parallel workers + content-addressed result
 cache).
 
+The ``shard`` subcommand splits a sweep across processes or machines
+by hash-range of the content-addressed cache key: ``--shard i/N`` runs
+one slice into a private cache directory (on any machine), ``--merge``
+unions shard caches back into the shared one with conflict detection,
+and ``--all`` orchestrates every shard as local subprocesses —
+including crash recovery — and merges at the end.
+
 The ``manifest`` subcommand summarizes the run manifest the cache
 keeps: hit rates, wall time by workload/scheduler, and the slowest
 cells.
@@ -21,6 +28,10 @@ Examples::
         --schedulers strex --no-cache
     python -m repro sweep --workloads tpcc --schedulers strex \\
         --strex-overrides '{"phase_bits": [2, 4, 8]}'
+    python -m repro shard --all --procs 4 --workloads tpcc tpce \\
+        --schedulers base strex --cores 2 4 8
+    python -m repro shard --shard 0/2 --workloads tpcc --cores 2 4
+    python -m repro shard --merge benchmarks/out/.cache/shards/0-of-2
     python -m repro manifest --top 5
     python -m repro manifest --json
     python -m repro manifest --since 2026-08-01T00:00:00
@@ -43,7 +54,13 @@ from repro.exp import (
     Manifest,
     ResultCache,
     Runner,
+    RunSpec,
+    ShardSpec,
     SweepSpec,
+    merge_caches,
+    run_all_shards,
+    run_shard,
+    shard_root,
     summarize_entries,
 )
 from repro.sim.api import PREFETCHERS, SCHEDULERS, simulate
@@ -132,15 +149,8 @@ def run_sweep(args) -> str:
         ["cores", "base I-MPKI", "strex", "slicc", "hybrid"], rows)
 
 
-def build_sweep_parser() -> argparse.ArgumentParser:
-    """Parser for the ``sweep`` subcommand (the ``repro.exp`` runner)."""
-    parser = argparse.ArgumentParser(
-        prog="repro sweep",
-        description="Expand a parameter grid into runs and execute "
-                    "them through the repro.exp runner: parallel "
-                    "workers, per-run timeout/retry, and a "
-                    "content-addressed result cache.",
-    )
+def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
+    """The sweep-grid axes shared by ``sweep`` and ``shard``."""
     parser.add_argument("--workloads", nargs="+",
                         choices=sorted(WORKLOADS), default=["tpcc"])
     parser.add_argument("--schedulers", nargs="+",
@@ -155,17 +165,6 @@ def build_sweep_parser() -> argparse.ArgumentParser:
     parser.add_argument("--scales", nargs="+", choices=sorted(SCALES),
                         default=["default"])
     parser.add_argument("--transactions", type=int, default=40)
-    parser.add_argument("--jobs", type=int, default=1,
-                        help="worker processes (<=1 runs in-process)")
-    parser.add_argument("--no-cache", action="store_true",
-                        help="disable the content-addressed result "
-                             "cache (always re-simulate)")
-    parser.add_argument("--cache-dir", type=Path,
-                        default=DEFAULT_CACHE_DIR)
-    parser.add_argument("--timeout", type=float, default=None,
-                        help="per-run wall-clock budget in seconds")
-    parser.add_argument("--retries", type=int, default=2,
-                        help="extra attempts after transient failures")
     for option, target in (("--strex-overrides", "StrexConfig"),
                            ("--cache-overrides", "CacheConfig"),
                            ("--hybrid-overrides", "HybridConfig")):
@@ -173,13 +172,23 @@ def build_sweep_parser() -> argparse.ArgumentParser:
             option, type=json.loads, default=None, metavar="JSON",
             help=f"ablation grid over {target} fields, e.g. "
                  '\'{"phase_bits": [2, 4, 8]}\'')
-    return parser
 
 
-def run_exp_sweep(argv: List[str]) -> str:
-    """Execute the ``sweep`` subcommand; returns the printed report."""
-    args = build_sweep_parser().parse_args(argv)
-    sweep = SweepSpec(
+def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
+    """Execution knobs shared by ``sweep`` and ``shard``."""
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (<=1 runs in-process)")
+    parser.add_argument("--cache-dir", type=Path,
+                        default=DEFAULT_CACHE_DIR)
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-run wall-clock budget in seconds")
+    parser.add_argument("--retries", type=int, default=2,
+                        help="extra attempts after transient failures")
+
+
+def _grid_sweep(args) -> "SweepSpec":
+    """The :class:`SweepSpec` a parsed grid-argument set describes."""
+    return SweepSpec(
         workloads=tuple(args.workloads),
         schedulers=tuple(args.schedulers),
         prefetchers=tuple(args.prefetchers),
@@ -192,6 +201,29 @@ def run_exp_sweep(argv: List[str]) -> str:
         cache_overrides=args.cache_overrides,
         hybrid_overrides=args.hybrid_overrides,
     )
+
+
+def build_sweep_parser() -> argparse.ArgumentParser:
+    """Parser for the ``sweep`` subcommand (the ``repro.exp`` runner)."""
+    parser = argparse.ArgumentParser(
+        prog="repro sweep",
+        description="Expand a parameter grid into runs and execute "
+                    "them through the repro.exp runner: parallel "
+                    "workers, per-run timeout/retry, and a "
+                    "content-addressed result cache.",
+    )
+    _add_grid_arguments(parser)
+    _add_runner_arguments(parser)
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the content-addressed result "
+                             "cache (always re-simulate)")
+    return parser
+
+
+def run_exp_sweep(argv: List[str]) -> str:
+    """Execute the ``sweep`` subcommand; returns the printed report."""
+    args = build_sweep_parser().parse_args(argv)
+    sweep = _grid_sweep(args)
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     manifest = None if args.no_cache \
         else Manifest(args.cache_dir / "manifest.jsonl")
@@ -239,6 +271,93 @@ def run_exp_sweep(argv: List[str]) -> str:
     if cache is not None:
         summary += f" (cache: {args.cache_dir})"
     return table + "\n" + summary
+
+
+def build_shard_parser() -> argparse.ArgumentParser:
+    """Parser for the ``shard`` subcommand (cross-process sweeps)."""
+    parser = argparse.ArgumentParser(
+        prog="repro shard",
+        description="Split a sweep across processes or machines by "
+                    "hash-range of the content-addressed cache key: "
+                    "run one shard into a private cache (--shard), "
+                    "orchestrate every shard locally (--all), or "
+                    "union shard caches into the shared one "
+                    "(--merge).  Merges are conflict-safe: the same "
+                    "key with different payloads is a hard error, "
+                    "never last-writer-wins.",
+    )
+    _add_grid_arguments(parser)
+    _add_runner_arguments(parser)
+    action = parser.add_mutually_exclusive_group(required=True)
+    action.add_argument("--shard", type=ShardSpec.parse, metavar="I/N",
+                        help="run shard I of N into a private "
+                             "cache directory")
+    action.add_argument("--all", action="store_true",
+                        help="orchestrate every shard as local "
+                             "subprocesses, then merge")
+    action.add_argument("--merge", nargs="+", type=Path, metavar="DIR",
+                        help="merge shard cache directories into "
+                             "--cache-dir (no simulation)")
+    parser.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="shard count for --all (default: --procs)")
+    parser.add_argument("--procs", type=int, default=2, metavar="K",
+                        help="concurrent shard subprocesses for --all")
+    parser.add_argument("--shard-dir", type=Path, default=None,
+                        help="private cache directory for --shard "
+                             "(default: <cache-dir>/shards/<i>-of-<n>)")
+    parser.add_argument("--specs-file", type=Path, default=None,
+                        metavar="JSON",
+                        help="run this JSON list of RunSpec dicts "
+                             "instead of expanding the grid flags")
+    return parser
+
+
+def _shard_specs(args) -> List[RunSpec]:
+    """The spec list a ``shard`` invocation operates on."""
+    if args.specs_file is not None:
+        data = json.loads(args.specs_file.read_text())
+        if not isinstance(data, list):
+            raise ValueError(
+                f"--specs-file must hold a JSON list of RunSpec "
+                f"objects, got {type(data).__name__}"
+            )
+        return [RunSpec.from_dict(item) for item in data]
+    return _grid_sweep(args).expand()
+
+
+def run_shard_cmd(argv: List[str]) -> str:
+    """Execute the ``shard`` subcommand; returns the printed report."""
+    args = build_shard_parser().parse_args(argv)
+    if args.merge is not None:
+        report = merge_caches(ResultCache(args.cache_dir), args.merge)
+        return f"{report.describe()} -> {args.cache_dir}"
+    specs = _shard_specs(args)
+    if args.all:
+        count = args.shards if args.shards is not None else args.procs
+        report = run_all_shards(
+            specs, cache_dir=args.cache_dir, count=count,
+            procs=args.procs, jobs=args.jobs, timeout=args.timeout,
+            retries=args.retries)
+        lines = [report.describe()]
+        for index in sorted(report.launches):
+            owned = sum(1 for key in report.keys
+                        if ShardSpec.assign(key, count) == index)
+            lines.append(f"  shard {index}/{count}: {owned} cell(s), "
+                         f"{report.launches[index]} launch(es)")
+        lines.append(f"merged cache: {args.cache_dir}")
+        return "\n".join(lines)
+    root = args.shard_dir if args.shard_dir is not None \
+        else shard_root(args.cache_dir, args.shard)
+    outcome = run_shard(specs, args.shard, root, jobs=args.jobs,
+                        timeout=args.timeout, retries=args.retries)
+    return (
+        f"shard {args.shard}: {outcome.selected}/{len(specs)} cell(s) "
+        f"selected, {outcome.hits} cache hit(s), {outcome.misses} "
+        f"executed\n"
+        f"private cache: {root}\n"
+        f"merge with: python -m repro shard --merge {root} "
+        f"--cache-dir {args.cache_dir}"
+    )
 
 
 def build_manifest_parser() -> argparse.ArgumentParser:
@@ -373,6 +492,9 @@ def main(argv=None) -> int:
     try:
         if argv and argv[0] == "sweep":
             print(run_exp_sweep(argv[1:]))
+            return 0
+        if argv and argv[0] == "shard":
+            print(run_shard_cmd(argv[1:]))
             return 0
         if argv and argv[0] == "manifest":
             print(run_manifest(argv[1:]))

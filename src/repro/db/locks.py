@@ -35,8 +35,21 @@ class LockManager:
         self._owners: Dict[Tuple[str, int], Set[int]] = {}
 
     def bucket_block(self, name: str, key: int) -> int:
-        """Data block of the bucket guarding (name, key)."""
-        return self._bucket_blocks[hash((name, key)) % self.num_buckets]
+        """Data block of the bucket guarding (name, key).
+
+        Bucketing must not use the builtin ``hash`` on strings: string
+        hashing is randomized per process (PYTHONHASHSEED), which would
+        make the data-block stream — and every simulation result —
+        vary across worker processes, violating the determinism the
+        content-addressed result cache keys rely on.  FNV-1a over the
+        name plus a Knuth multiplicative mix of the key is stable
+        everywhere.
+        """
+        digest = 2166136261
+        for byte in name.encode():
+            digest = ((digest ^ byte) * 16777619) & 0xFFFFFFFF
+        digest ^= (key * 2654435761) & 0xFFFFFFFF
+        return self._bucket_blocks[digest % self.num_buckets]
 
     def acquire(self, txn_id: int, name: str, key: int,
                 mode: int) -> Tuple[int, bool]:

@@ -11,7 +11,14 @@ The subsystem has four parts (see DESIGN.md §3):
   workload parameters, scheduler/prefetcher/team-size, seeds, and the
   package source fingerprint;
 * :mod:`repro.exp.manifest` — :class:`Manifest`, an append-only JSONL
-  audit trail of every run (key, hit/miss, wall time, worker).
+  audit trail of every run (key, hit/miss, wall time, worker, shard).
+
+:mod:`repro.exp.shard` layers cross-process sharding on top: a
+:class:`ShardSpec` partitions any sweep by hash-range of the cache
+key, :func:`run_shard` executes one slice into a private directory,
+:func:`merge_caches` unions shard caches conflict-safely, and
+:func:`run_all_shards` orchestrates a full local multi-process sweep
+(``repro shard`` on the command line).
 """
 
 from repro.exp.cache import (
@@ -33,7 +40,19 @@ from repro.exp.runner import (
     SimTimeoutError,
     execute_spec,
 )
-from repro.exp.spec import MODES, RunSpec, SweepSpec
+from repro.exp.shard import (
+    MergeReport,
+    ShardFailure,
+    ShardMergeConflict,
+    ShardRun,
+    ShardSweepReport,
+    merge_caches,
+    partition,
+    run_all_shards,
+    run_shard,
+    shard_root,
+)
+from repro.exp.spec import MODES, RunSpec, ShardSpec, SweepSpec
 
 __all__ = [
     "CACHE_SCHEMA",
@@ -41,15 +60,26 @@ __all__ = [
     "Manifest",
     "ManifestEntry",
     "ManifestSummary",
+    "MergeReport",
     "RESULT_TYPES",
     "ResultCache",
     "RunError",
     "RunSpec",
     "Runner",
+    "ShardFailure",
+    "ShardMergeConflict",
+    "ShardRun",
+    "ShardSpec",
+    "ShardSweepReport",
     "SimTimeoutError",
     "SweepSpec",
     "code_fingerprint",
     "execute_spec",
+    "merge_caches",
+    "partition",
+    "run_all_shards",
+    "run_shard",
+    "shard_root",
     "spec_key",
     "summarize_entries",
 ]

@@ -177,6 +177,62 @@ class ResultCache:
             raise
         return path
 
+    def keys(self) -> list:
+        """All entry keys currently on disk, sorted.
+
+        Only files in the two-level ``<hex2>/<key>.json`` layout count;
+        anything nested deeper (e.g. the per-shard caches an
+        orchestrated run keeps under ``<root>/shards/``) is invisible
+        to the parent cache.
+        """
+        if not self.root.exists():
+            return []
+        return sorted(path.stem for path in self.root.glob("*/*.json"))
+
+    def read_bytes(self, key: str) -> bytes:
+        """The raw serialized entry for ``key`` (``FileNotFoundError``
+        on a miss).  Shard merges compare and copy these bytes verbatim
+        so merged entries stay bit-identical to their producers'."""
+        return self.path_for(key).read_bytes()
+
+    def put_bytes(self, key: str, blob: bytes) -> Path:
+        """Atomically store an already-serialized entry verbatim.
+
+        This is the merge half of :meth:`read_bytes`: shard caches are
+        unioned by copying entry bytes, never by re-serializing, so a
+        merged cache is byte-identical to one produced by a single
+        unsharded run.  The blob must parse as a current-schema entry
+        for ``key``; anything else raises ``ValueError`` rather than
+        planting a poisoned entry.
+        """
+        data = json.loads(blob.decode())
+        if data.get("schema") != CACHE_SCHEMA:
+            raise ValueError(
+                f"entry schema {data.get('schema')!r} != {CACHE_SCHEMA}"
+            )
+        if data.get("key") != key:
+            raise ValueError(
+                f"entry is keyed {data.get('key')!r}, not {key!r}"
+            )
+        if data.get("result_type", "RunResult") not in RESULT_TYPES:
+            raise ValueError(
+                f"unregistered result type {data.get('result_type')!r}"
+            )
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
     def __contains__(self, key: str) -> bool:
         return self.path_for(key).exists()
 

@@ -29,6 +29,13 @@ class ManifestEntry:
     identifier) were added for retention: ``--since`` filters on the
     former, ``--keep-last`` groups rows by the latter.  Rows written by
     older versions carry neither and are treated as the oldest.
+
+    ``shard`` records which hash-range slice of a sweep executed the
+    row (the ``"i/N"`` spelling of a
+    :class:`~repro.exp.spec.ShardSpec`); unsharded runs leave it
+    ``None``.  The shard orchestrator relays private shard-manifest
+    rows into the shared manifest as they appear, so the column is how
+    a merged manifest stays attributable.
     """
 
     key: str
@@ -39,6 +46,7 @@ class ManifestEntry:
     attempts: int = 1
     ts: Optional[float] = None
     sweep: Optional[str] = None
+    shard: Optional[str] = None
 
     def to_json(self) -> str:
         return json.dumps(dataclasses.asdict(self), sort_keys=True)
@@ -59,6 +67,41 @@ class Manifest:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with open(self.path, "a") as handle:
             handle.write(entry.to_json() + "\n")
+
+    def record_raw(self, line: str) -> None:
+        """Append one already-serialized row verbatim.
+
+        The shard orchestrator relays rows from private shard
+        manifests into the shared one; copying the line (rather than
+        parsing and re-serializing) keeps relayed rows byte-identical
+        to what the shard wrote.
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a") as handle:
+            handle.write(line.rstrip("\n") + "\n")
+
+    def tail(self, offset: int = 0) -> Tuple[List[str], int]:
+        """Complete lines appended since byte ``offset``.
+
+        Returns ``(lines, new_offset)``; a trailing partial line (a
+        writer mid-``write``, or one killed mid-line) is left for the
+        next call rather than returned truncated.  This is the
+        streaming half of :meth:`record_raw`: the orchestrator polls
+        each shard's manifest with its last offset to relay progress
+        while shards are still running.
+        """
+        if not self.path.exists():
+            return [], offset
+        with open(self.path, "rb") as handle:
+            handle.seek(offset)
+            blob = handle.read()
+        end = blob.rfind(b"\n")
+        if end < 0:
+            return [], offset
+        lines = [line for line in
+                 blob[:end].decode(errors="replace").split("\n")
+                 if line.strip()]
+        return lines, offset + end + 1
 
     def read(self) -> List[ManifestEntry]:
         """All rows recorded so far (empty if the file doesn't exist).

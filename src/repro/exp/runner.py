@@ -36,7 +36,7 @@ from repro.core.fptable import FootprintResult, profile_fptable
 from repro.core.identical import replicate_instances
 from repro.exp.cache import RESULT_TYPES, ResultCache, spec_key
 from repro.exp.manifest import Manifest, ManifestEntry
-from repro.exp.spec import RunSpec, SweepSpec
+from repro.exp.spec import RunSpec, ShardSpec, SweepSpec
 from repro.sim.api import simulate
 from repro.workloads import make_workload
 
@@ -185,9 +185,20 @@ class Runner:
         timeout: per-run wall-clock budget in seconds (``None`` = no
             limit).
         retries: extra attempts after a *transient* failure.
+        shard: hash-range slice of the sweep to execute
+            (:class:`~repro.exp.spec.ShardSpec`), or ``None`` for the
+            whole sweep.  Sharding partitions *computation*, not
+            reads: a spec outside the shard is still served from the
+            cache when possible (reads are free and keep a merged
+            cache fully usable), but on a miss it is skipped — no
+            execution, no manifest row, a ``None`` hole in the
+            positional results — and tallied in :attr:`skipped`.
+            Manifest rows of a sharded run carry the shard's ``"i/N"``
+            label.
 
-    After each :meth:`run`, :attr:`hits` / :attr:`misses` hold the
-    cache tally and :attr:`entries` the manifest rows of that sweep.
+    After each :meth:`run`, :attr:`hits` / :attr:`misses` /
+    :attr:`skipped` hold the cache and shard tallies and
+    :attr:`entries` the manifest rows of that sweep.
     """
 
     def __init__(
@@ -197,6 +208,7 @@ class Runner:
         manifest: Optional[Manifest] = None,
         timeout: Optional[float] = None,
         retries: int = 2,
+        shard: Optional[ShardSpec] = None,
     ):
         if retries < 0:
             raise ValueError("retries must be >= 0")
@@ -207,8 +219,10 @@ class Runner:
         self.manifest = manifest
         self.timeout = timeout
         self.retries = retries
+        self.shard = shard
         self.hits = 0
         self.misses = 0
+        self.skipped = 0
         self.entries: List[ManifestEntry] = []
         self._sweep_id = uuid.uuid4().hex[:12]
         self._pool: Optional[ProcessPoolExecutor] = None
@@ -224,12 +238,17 @@ class Runner:
         order *is* the result order).  Each result's type follows its
         spec's mode (``RunResult`` for the simulation modes,
         ``OverlapResult``/``FootprintResult`` for the analysis modes).
+
+        With a :attr:`shard`, only the specs the shard owns (or the
+        cache already holds) produce results; the rest stay ``None``
+        in the returned list.
         """
         if isinstance(specs, SweepSpec):
             specs = specs.expand()
         specs = list(specs)
         self.hits = 0
         self.misses = 0
+        self.skipped = 0
         self.entries = []
         # One id per run() call: manifest retention ("keep the last N
         # sweeps") groups rows by it.
@@ -244,6 +263,9 @@ class Runner:
                 results[idx] = cached
                 self._record(idx, spec, keys[idx], hit=True, wall=0.0,
                              worker=None, attempts=0)
+            elif self.shard is not None and \
+                    not self.shard.selects(keys[idx]):
+                self.skipped += 1
             else:
                 pending.append(idx)
 
@@ -347,6 +369,7 @@ class Runner:
             attempts=attempts,
             ts=round(time.time(), 3),
             sweep=self._sweep_id,
+            shard=str(self.shard) if self.shard is not None else None,
         )
         self.entries.append(entry)
         if self.manifest is not None:

@@ -1,0 +1,459 @@
+"""Cross-process sweep sharding: partition, run, relay, merge.
+
+The :class:`~repro.exp.runner.Runner` parallelizes within one process
+pool; this module scales a sweep *across* processes and machines.  The
+design has one load-bearing idea: a sweep is partitioned by hash-range
+of its content-addressed cache keys (see
+:class:`~repro.exp.spec.ShardSpec`), so every executor derives the
+same partition independently and the cache directory is the only merge
+point.  Three layers build on it:
+
+* :func:`run_shard` — execute one shard of a spec list into a
+  *private* cache/manifest directory (what ``repro shard --shard i/N``
+  runs, on this machine or any other);
+* :func:`merge_caches` — union shard caches into a destination cache
+  by copying entry bytes verbatim, refusing loudly on a conflict
+  (same key, different payload ⇒ :class:`ShardMergeConflict` citing
+  both copies) — never last-writer-wins;
+* :func:`run_all_shards` — a local orchestrator
+  (``repro shard --all``) that launches one subprocess per shard,
+  streams each shard's manifest rows into the shared manifest as they
+  appear, relaunches a crashed shard with *only its missing keys*
+  (the private cache preserves completed cells across the crash), and
+  merges everything at the end.
+
+Determinism makes the merge safe: the simulator is a pure function of
+the spec, serialization is canonical, so two shards can only disagree
+about a key if their code or environment diverged — exactly the
+condition a conflict error should surface instead of papering over.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+import uuid
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.exp.cache import ResultCache, spec_key
+from repro.exp.manifest import Manifest, ManifestEntry
+from repro.exp.runner import Runner
+from repro.exp.spec import RunSpec, ShardSpec, SweepSpec
+
+
+class ShardMergeConflict(RuntimeError):
+    """Two caches hold different payloads for the same key.
+
+    Raised by :func:`merge_caches` instead of picking a winner: the
+    cache is content-addressed, so a conflict means the 'content'
+    (simulator code, environment, or determinism) diverged between the
+    executors and every cell they produced is suspect.
+
+    Attributes:
+        key: the conflicting cache key.
+        ours: path of the copy already merged (or pre-existing in the
+            destination).
+        theirs: path of the conflicting shard copy.
+    """
+
+    def __init__(self, key: str, ours: Path, theirs: Path):
+        super().__init__(
+            f"merge conflict for cache key {key}: {ours} and {theirs} "
+            f"hold different payloads for the same content-addressed "
+            f"key; refusing to merge.  The simulator is deterministic, "
+            f"so the shards' code or environment diverged — re-run the "
+            f"affected shard(s) at one version."
+        )
+        self.key = key
+        self.ours = Path(ours)
+        self.theirs = Path(theirs)
+
+
+class ShardFailure(RuntimeError):
+    """A shard subprocess could not be driven to completion."""
+
+
+def shard_root(cache_dir: Union[Path, str], shard: ShardSpec) -> Path:
+    """The conventional private cache directory of one shard.
+
+    Lives *under* the shared cache directory (``shards/<i>-of-<N>``)
+    so everything about a sweep stays in one tree, but nested one
+    level deeper than the ``<hex2>/<key>.json`` layout so the shared
+    cache never globs shard-private entries by accident.
+    """
+    return Path(cache_dir) / "shards" / f"{shard.index}-of-{shard.count}"
+
+
+def partition(specs: Sequence[RunSpec], count: int
+              ) -> Tuple[List[str], Dict[int, List[int]]]:
+    """Keys and the shard partition of a spec list.
+
+    Returns ``(keys, by_shard)`` where ``keys`` aligns with ``specs``
+    and ``by_shard[i]`` lists the spec indices shard ``i`` owns.  Every
+    index lands in exactly one shard (the partition property
+    ``tests/test_properties.py`` pins).
+    """
+    keys = [spec_key(spec) for spec in specs]
+    by_shard: Dict[int, List[int]] = {i: [] for i in range(count)}
+    for idx, key in enumerate(keys):
+        by_shard[ShardSpec.assign(key, count)].append(idx)
+    return keys, by_shard
+
+
+# ---------------------------------------------------------------------
+# Merge
+# ---------------------------------------------------------------------
+
+@dataclass
+class MergeReport:
+    """What :func:`merge_caches` did.
+
+    Attributes:
+        added: entries copied into the destination.
+        identical: entries skipped because the destination already held
+            an equal payload (byte-identical, or differing only in the
+            debug ``spec`` field two spellings of one key can carry).
+        corrupt: source entries skipped because they do not parse as
+            valid current-schema entries (a shard killed mid-write
+            leaves none thanks to atomic writes, but a torn copy is a
+            local cache miss and must stay one here).
+        sources: shard directories examined.
+    """
+
+    added: int = 0
+    identical: int = 0
+    corrupt: int = 0
+    sources: int = 0
+
+    def describe(self) -> str:
+        return (f"merged {self.added} entr(ies) from {self.sources} "
+                f"shard cache(s); {self.identical} already present, "
+                f"{self.corrupt} corrupt source entr(ies) skipped")
+
+
+def _parse_entry(blob: bytes, key: str) -> Optional[dict]:
+    """The decoded entry, or ``None`` if it is not a valid entry for
+    ``key`` under the current schema."""
+    from repro.exp.cache import CACHE_SCHEMA, RESULT_TYPES
+
+    try:
+        data = json.loads(blob.decode())
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return None
+    if not isinstance(data, dict):
+        return None
+    if data.get("schema") != CACHE_SCHEMA or data.get("key") != key:
+        return None
+    if data.get("result_type", "RunResult") not in RESULT_TYPES:
+        return None
+    if "result" not in data:
+        return None
+    return data
+
+
+def _same_result(ours: dict, theirs: dict) -> bool:
+    """Whether two valid entries carry the same result content.
+
+    Two *different specs* can address one key (e.g. an override
+    spelling out a default value), so the debug ``spec`` field may
+    differ while the content agrees; only ``result_type`` + ``result``
+    decide a conflict.
+    """
+    return (ours.get("result_type"), ours.get("result")) == \
+        (theirs.get("result_type"), theirs.get("result"))
+
+
+def merge_caches(dest: Union[ResultCache, Path, str],
+                 sources: Iterable[Union[Path, str]]) -> MergeReport:
+    """Union shard caches into ``dest``, byte-for-byte, conflict-safe.
+
+    Entries are copied verbatim (:meth:`ResultCache.read_bytes` →
+    :meth:`ResultCache.put_bytes`), so a merged cache is byte-identical
+    to one an unsharded run would have produced.  A key present on
+    both sides with *different result content* raises
+    :class:`ShardMergeConflict` naming both copies — by design there
+    is no way to silently prefer either.
+    """
+    if not isinstance(dest, ResultCache):
+        dest = ResultCache(dest)
+    report = MergeReport()
+    merged_from: Dict[str, Path] = {}
+    for source_root in sources:
+        source = ResultCache(source_root)
+        report.sources += 1
+        for key in source.keys():
+            blob = source.read_bytes(key)
+            entry = _parse_entry(blob, key)
+            if entry is None:
+                report.corrupt += 1
+                continue
+            dest_path = dest.path_for(key)
+            if dest_path.exists():
+                current = dest_path.read_bytes()
+                if current == blob:
+                    report.identical += 1
+                    continue
+                existing = _parse_entry(current, key)
+                if existing is None:
+                    # Torn destination entry: a local miss, safe to
+                    # heal with the shard's valid copy.
+                    dest.put_bytes(key, blob)
+                    merged_from[key] = source.path_for(key)
+                    report.added += 1
+                    continue
+                if _same_result(existing, entry):
+                    report.identical += 1
+                    continue
+                raise ShardMergeConflict(
+                    key, merged_from.get(key, dest_path),
+                    source.path_for(key))
+            dest.put_bytes(key, blob)
+            merged_from[key] = source.path_for(key)
+            report.added += 1
+    return report
+
+
+# ---------------------------------------------------------------------
+# One shard
+# ---------------------------------------------------------------------
+
+@dataclass
+class ShardRun:
+    """Outcome of :func:`run_shard`.
+
+    ``results`` aligns positionally with the spec list that was passed
+    in; cells the shard does not own are ``None`` holes.
+    """
+
+    shard: ShardSpec
+    root: Path
+    results: List[Optional[object]]
+    hits: int
+    misses: int
+    skipped: int
+
+    @property
+    def selected(self) -> int:
+        return self.hits + self.misses
+
+
+def run_shard(specs: Union[SweepSpec, Sequence[RunSpec]],
+              shard: ShardSpec,
+              root: Union[Path, str],
+              jobs: int = 1,
+              timeout: Optional[float] = None,
+              retries: int = 2) -> ShardRun:
+    """Execute one shard of ``specs`` into a private cache at ``root``.
+
+    The private directory gets its own ``manifest.jsonl`` whose rows
+    carry the shard label; completed cells persist there across
+    crashes, which is what lets a relaunch skip straight to the
+    missing keys.  Merge the directory back with :func:`merge_caches`
+    (or ``repro shard --merge``).
+    """
+    root = Path(root)
+    cache = ResultCache(root)
+    manifest = Manifest(root / "manifest.jsonl")
+    runner = Runner(jobs=jobs, cache=cache, manifest=manifest,
+                    timeout=timeout, retries=retries, shard=shard)
+    results = runner.run(specs)
+    return ShardRun(shard=shard, root=root, results=results,
+                    hits=runner.hits, misses=runner.misses,
+                    skipped=runner.skipped)
+
+
+# ---------------------------------------------------------------------
+# Local multi-process orchestrator
+# ---------------------------------------------------------------------
+
+def _shard_entry(specs: List[RunSpec], shard: ShardSpec, root: str,
+                 jobs: int, timeout: Optional[float],
+                 retries: int) -> None:
+    """Subprocess entry point: run one shard's pending specs."""
+    run_shard(specs, shard, root, jobs=jobs, timeout=timeout,
+              retries=retries)
+
+
+@dataclass
+class ShardSweepReport:
+    """Outcome of :func:`run_all_shards`.
+
+    Attributes:
+        specs: the expanded sweep, in deterministic order.
+        keys: cache keys aligned with ``specs``.
+        results: results aligned with ``specs`` (read back from the
+            merged cache, so they are exactly what any later run will
+            be served).
+        count: how many shards the sweep was split into.
+        launches: shard index → subprocess launches (>1 means the
+            shard crashed and was relaunched on its missing keys).
+        precached: cells already present in the shared cache that no
+            shard had to touch.
+        merge: the final :class:`MergeReport`.
+    """
+
+    specs: List[RunSpec]
+    keys: List[str]
+    results: List[object]
+    count: int
+    launches: Dict[int, int] = field(default_factory=dict)
+    precached: int = 0
+    merge: MergeReport = field(default_factory=MergeReport)
+
+    @property
+    def executed(self) -> int:
+        return len(self.specs) - self.precached
+
+    def describe(self) -> str:
+        relaunched = sum(1 for n in self.launches.values() if n > 1)
+        return (f"{len(self.specs)} cells over {self.count} shard(s): "
+                f"{self.precached} pre-cached, {self.executed} ran in "
+                f"{sum(self.launches.values())} shard launch(es) "
+                f"({relaunched} shard(s) relaunched after a crash); "
+                + self.merge.describe())
+
+
+def run_all_shards(specs: Union[SweepSpec, Sequence[RunSpec]],
+                   cache_dir: Union[Path, str],
+                   count: int = 2,
+                   procs: Optional[int] = None,
+                   jobs: int = 1,
+                   timeout: Optional[float] = None,
+                   retries: int = 2,
+                   relaunches: int = 2,
+                   poll_interval: float = 0.05,
+                   mp_context=None) -> ShardSweepReport:
+    """Run a whole sweep as ``count`` shard subprocesses and merge.
+
+    At most ``procs`` shards run concurrently (default: ``count``),
+    each into its private directory under ``<cache_dir>/shards/``.
+    While they run, their manifest rows are relayed into the shared
+    ``<cache_dir>/manifest.jsonl`` (the ``shard`` column says who did
+    what).  A shard whose process exits with cells still missing from
+    its private cache — a crash, a kill, an unhandled error — is
+    relaunched with *only the missing specs*, up to ``relaunches``
+    extra times; completed cells are never recomputed because they
+    survive in the private cache.  When every shard is complete the
+    private caches are merged into ``cache_dir`` (conflicts are hard
+    errors) and results are read back from the merged cache.
+
+    Cells already present in the shared cache are never assigned to a
+    shard at all, so a warm rerun launches nothing.
+    """
+    if isinstance(specs, SweepSpec):
+        specs = specs.expand()
+    specs = list(specs)
+    if count < 1:
+        raise ValueError(f"shard count must be >= 1, got {count}")
+    if relaunches < 0:
+        raise ValueError("relaunches must be >= 0")
+    procs = count if procs is None else max(1, int(procs))
+    cache_dir = Path(cache_dir)
+    dest = ResultCache(cache_dir)
+    shared_manifest = Manifest(cache_dir / "manifest.jsonl")
+    context = mp_context
+    if context is None:
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else None)
+
+    keys, by_shard = partition(specs, count)
+    shards = {i: ShardSpec(i, count) for i in range(count)}
+    roots = {i: shard_root(cache_dir, shards[i]) for i in range(count)}
+    caches = {i: ResultCache(roots[i]) for i in range(count)}
+
+    # Cells the shared cache already holds are settled; record them as
+    # hits (attributed to their owning shard) and never ship them out.
+    sweep_id = uuid.uuid4().hex[:12]
+    precached = 0
+    todo_by_shard: Dict[int, List[int]] = {i: [] for i in range(count)}
+    for shard_index, indices in by_shard.items():
+        for idx in indices:
+            if dest.get(keys[idx]) is not None:
+                precached += 1
+                shared_manifest.record(ManifestEntry(
+                    key=keys[idx], spec=specs[idx].to_dict(), hit=True,
+                    wall_s=0.0, worker=None, attempts=0,
+                    ts=round(time.time(), 3), sweep=sweep_id,
+                    shard=str(shards[shard_index])))
+            else:
+                todo_by_shard[shard_index].append(idx)
+
+    launches = {i: 0 for i in range(count) if todo_by_shard[i]}
+    offsets: Dict[int, int] = {i: 0 for i in launches}
+
+    def missing_specs(shard_index: int) -> List[RunSpec]:
+        return [specs[idx] for idx in todo_by_shard[shard_index]
+                if caches[shard_index].get(keys[idx]) is None]
+
+    def relay(shard_index: int) -> None:
+        lines, offsets[shard_index] = Manifest(
+            roots[shard_index] / "manifest.jsonl"
+        ).tail(offsets[shard_index])
+        for line in lines:
+            shared_manifest.record_raw(line)
+
+    queue = deque(sorted(launches))
+    running: Dict[int, multiprocessing.process.BaseProcess] = {}
+    try:
+        while queue or running:
+            while queue and len(running) < procs:
+                shard_index = queue.popleft()
+                pending = missing_specs(shard_index)
+                if not pending:
+                    continue
+                launches[shard_index] += 1
+                process = context.Process(
+                    target=_shard_entry,
+                    args=(pending, shards[shard_index],
+                          str(roots[shard_index]), jobs, timeout,
+                          retries),
+                )
+                process.start()
+                running[shard_index] = process
+            if not running:
+                continue
+            time.sleep(poll_interval)
+            for shard_index, process in list(running.items()):
+                relay(shard_index)
+                if process.is_alive():
+                    continue
+                process.join()
+                del running[shard_index]
+                relay(shard_index)
+                still_missing = missing_specs(shard_index)
+                if not still_missing:
+                    continue
+                if launches[shard_index] > relaunches:
+                    raise ShardFailure(
+                        f"shard {shards[shard_index]} exited with code "
+                        f"{process.exitcode} and "
+                        f"{len(still_missing)} cell(s) still missing "
+                        f"after {launches[shard_index]} launch(es); "
+                        f"inspect {roots[shard_index]}"
+                    )
+                queue.append(shard_index)
+    finally:
+        for process in running.values():
+            process.terminate()
+        for process in running.values():
+            process.join()
+
+    merge = merge_caches(
+        dest, [roots[i] for i in sorted(launches)])
+    results: List[object] = []
+    for spec, key in zip(specs, keys):
+        result = dest.get(key)
+        if result is None:  # pragma: no cover - defensive
+            raise ShardFailure(
+                f"cell {spec.describe()} (key {key}) is missing from "
+                f"the merged cache at {cache_dir}"
+            )
+        results.append(result)
+    return ShardSweepReport(specs=specs, keys=keys, results=results,
+                            count=count, launches=launches,
+                            precached=precached, merge=merge)

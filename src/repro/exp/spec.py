@@ -419,6 +419,68 @@ def _grid_cells(grid: Tuple[Tuple[str, Tuple], ...]
 
 
 @dataclass(frozen=True)
+class ShardSpec:
+    """One slice of a sweep: shard ``index`` of ``count``.
+
+    Sharding partitions a sweep by *cache key*, not by position: shard
+    ``i`` of ``N`` selects exactly the cells whose content-addressed
+    key (see :func:`repro.exp.cache.spec_key`) satisfies
+    ``int(key, 16) % N == i``.  Because the key is a pure function of
+    a cell's content, every executor derives the same partition
+    independently — two machines handed the same sweep and their
+    ``i/N`` strings agree on who owns which cells with no
+    coordination, and the cache directory is the only merge point
+    (see :mod:`repro.exp.shard`).  Hashes spread cells uniformly, so
+    shards are load-balanced in expectation regardless of how the
+    grid's axes correlate with cell cost.
+
+    The canonical spelling is ``"i/N"`` (e.g. ``--shard 1/3``,
+    ``REPRO_BENCH_SHARD=1/3``); :meth:`parse` reads it and ``str()``
+    writes it.  ``1/1`` is the identity shard: it selects everything.
+    """
+
+    index: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(
+                f"shard count must be >= 1, got {self.count}"
+            )
+        if not 0 <= self.index < self.count:
+            raise ValueError(
+                f"shard index must be in [0, {self.count}), "
+                f"got {self.index}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "ShardSpec":
+        """Parse the canonical ``"i/N"`` spelling."""
+        index, sep, count = str(text).partition("/")
+        try:
+            if not sep:
+                raise ValueError(text)
+            return cls(int(index), int(count))
+        except ValueError:
+            raise ValueError(
+                f"shard must be spelled 'i/N' with 0 <= i < N, "
+                f"got {text!r}"
+            ) from None
+
+    @staticmethod
+    def assign(key: str, count: int) -> int:
+        """The shard index that owns a cache key under an N-way split."""
+        return int(key, 16) % count
+
+    def selects(self, key: str) -> bool:
+        """Whether this shard owns the cell with cache key ``key``."""
+        return int(key, 16) % self.count == self.index
+
+    def __str__(self) -> str:
+        return f"{self.index}/{self.count}"
+
+
+@dataclass(frozen=True)
 class SweepSpec:
     """A grid of runs: the cross product of every axis below.
 

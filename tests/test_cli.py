@@ -1,13 +1,20 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import multiprocessing
+
 import pytest
 
 from repro.__main__ import (
     build_parser,
+    build_shard_parser,
     build_sweep_parser,
     main,
     run_single,
 )
+
+needs_fork = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="the shard orchestrator test relies on cheap fork startup")
 
 
 class TestParser:
@@ -135,3 +142,55 @@ class TestSweepSubcommand:
         ]) == 0
         out = capsys.readouterr().out
         assert "2 runs" in out
+
+
+class TestShardSubcommand:
+    GRID = ["--workloads", "tpcc", "--schedulers", "base", "strex",
+            "--cores", "1", "2", "--transactions", "4",
+            "--scales", "tiny"]
+
+    @pytest.mark.parametrize("text", ["2", "1:2", "2/2", "-1/2", "a/b"])
+    def test_rejects_malformed_shard(self, text):
+        with pytest.raises(SystemExit):
+            build_shard_parser().parse_args(["--shard", text])
+
+    def test_requires_a_mode(self):
+        with pytest.raises(SystemExit):
+            build_shard_parser().parse_args(["--shards", "2"])
+
+    def test_manual_shard_then_merge_flow(self, capsys, tmp_path):
+        """The two-terminal workflow: run each shard, merge, and the
+        merged cache serves the whole sweep as hits."""
+        shared = tmp_path / "shared"
+        for index in range(2):
+            argv = ["shard", "--shard", f"{index}/2",
+                    "--cache-dir", str(shared)] + self.GRID
+            assert main(argv) == 0
+            out = capsys.readouterr().out
+            assert f"shard {index}/2:" in out
+            assert "merge with:" in out
+        roots = [str(shared / "shards" / f"{i}-of-2")
+                 for i in range(2)]
+        assert main(["shard", "--merge"] + roots +
+                    ["--cache-dir", str(shared)]) == 0
+        out = capsys.readouterr().out
+        assert "merged 4 entr(ies)" in out
+        # The merged shared cache now serves the whole grid.
+        assert main(["sweep", "--cache-dir", str(shared)] +
+                    self.GRID) == 0
+        assert "4 cache hits, 0 executed" in capsys.readouterr().out
+
+    @needs_fork
+    def test_all_orchestrates_and_is_warm_on_rerun(self, capsys,
+                                                   tmp_path):
+        argv = ["shard", "--all", "--shards", "2", "--procs", "2",
+                "--cache-dir", str(tmp_path)] + self.GRID
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "4 cells over 2 shard(s): 0 pre-cached" in out
+        assert "merged cache:" in out
+        # Everything is already in the shared cache: no launches.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "4 pre-cached" in out
+        assert "0 shard launch(es)" in out

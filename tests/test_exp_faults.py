@@ -19,18 +19,24 @@ import time
 
 import pytest
 
+import signal
+
 import repro
 import repro.exp.cache as cache_mod
 import repro.exp.runner as runner_mod
 from repro.exp import (
     CACHE_SCHEMA,
+    Manifest,
     ResultCache,
     RunError,
     RunSpec,
     Runner,
+    ShardFailure,
     SimTimeoutError,
     code_fingerprint,
     execute_spec,
+    partition,
+    run_all_shards,
     spec_key,
 )
 
@@ -224,6 +230,116 @@ class TestPoolFaults:
         with pytest.raises(RunError):
             Runner(jobs=2, retries=0).run(
                 [tiny_spec(seed=1), tiny_spec(seed=2)])
+
+
+# ---------------------------------------------------------------------
+# Shard-orchestrator fault injection
+# ---------------------------------------------------------------------
+
+def _sigkill_own_process_on(marker_path, victim_seed):
+    """An ``execute_spec`` stand-in: the first process to reach the
+    spec with ``victim_seed`` (marker claimed with O_EXCL) SIGKILLs
+    itself mid-run — the hardest crash a shard subprocess can have."""
+    real = execute_spec
+
+    def killing(spec):
+        if spec.seed == victim_seed:
+            try:
+                fd = os.open(marker_path, os.O_CREAT | os.O_EXCL)
+            except FileExistsError:
+                return real(spec)
+            os.close(fd)
+            os.kill(os.getpid(), signal.SIGKILL)
+        return real(spec)
+
+    return killing
+
+
+@needs_fork
+class TestShardOrchestratorFaults:
+    """A SIGKILLed shard is detected, relaunched on only its missing
+    keys, and the merged cache still equals a clean run's."""
+
+    SHARDS = 3
+
+    def _specs_and_victim(self):
+        """Eight tiny cells plus the victim: the last cell (in spec
+        order) of the fullest shard, so its shard has completed cells
+        on disk when it dies.  Derived from the live partition rather
+        than pinned, so code edits can't silently move the victim to a
+        singleton shard."""
+        specs = [tiny_spec(seed=seed) for seed in range(1, 9)]
+        _, by_shard = partition(specs, self.SHARDS)
+        victim_shard = max(by_shard, key=lambda i: len(by_shard[i]))
+        assert len(by_shard[victim_shard]) >= 2
+        victim = specs[by_shard[victim_shard][-1]]
+        return specs, victim_shard, victim
+
+    def test_killed_shard_is_recovered_without_recompute(
+            self, tmp_path, monkeypatch):
+        specs, victim_shard, victim = self._specs_and_victim()
+        keys = [spec_key(spec) for spec in specs]
+
+        clean_root = tmp_path / "clean"
+        clean = Runner(cache=ResultCache(clean_root)).run(specs)
+
+        monkeypatch.setattr(
+            runner_mod, "execute_spec",
+            _sigkill_own_process_on(str(tmp_path / "killed"),
+                                    victim.seed))
+        sharded_root = tmp_path / "sharded"
+        report = run_all_shards(specs, cache_dir=sharded_root,
+                                count=self.SHARDS)
+        assert os.path.exists(tmp_path / "killed")
+
+        # The killed shard took exactly one extra launch; no other
+        # shard was disturbed.
+        assert report.launches[victim_shard] == 2
+        assert all(n == 1 for i, n in report.launches.items()
+                   if i != victim_shard)
+
+        # Merged cache is byte-identical to the clean run's.
+        clean_cache = ResultCache(clean_root)
+        merged_cache = ResultCache(sharded_root)
+        assert sorted(merged_cache.keys()) == sorted(keys)
+        for key in keys:
+            assert merged_cache.read_bytes(key) == \
+                clean_cache.read_bytes(key)
+        assert report.results == clean
+
+        # Completed cells were never recomputed: across the whole
+        # orchestration every cell executed exactly once — including
+        # the victim, whose killed first attempt never completed.
+        rows = Manifest(sharded_root / "manifest.jsonl").read()
+        executed = [row.key for row in rows if not row.hit]
+        assert sorted(executed) == sorted(keys)
+        assert not any(row.hit for row in rows)
+
+    def test_repeatedly_killed_shard_is_a_hard_failure(
+            self, tmp_path, monkeypatch):
+        """A shard that dies on every launch exhausts its relaunch
+        budget and surfaces as ShardFailure, not a silent hole."""
+        specs, _, victim = self._specs_and_victim()
+
+        def always_dies(spec):
+            if spec.seed == victim.seed:
+                os.kill(os.getpid(), signal.SIGKILL)
+            return execute_spec(spec)
+
+        monkeypatch.setattr(runner_mod, "execute_spec", always_dies)
+        with pytest.raises(ShardFailure, match="still missing"):
+            run_all_shards(specs, cache_dir=tmp_path / "sharded",
+                           count=self.SHARDS, relaunches=1)
+
+    def test_warm_orchestration_launches_nothing(self, tmp_path):
+        specs = [tiny_spec(seed=seed) for seed in range(1, 5)]
+        root = tmp_path / "cache"
+        first = run_all_shards(specs, cache_dir=root, count=2)
+        assert sum(first.launches.values()) >= 1
+        second = run_all_shards(specs, cache_dir=root, count=2)
+        assert second.launches == {}
+        assert second.precached == len(specs)
+        assert second.results == first.results
 
 
 # ---------------------------------------------------------------------

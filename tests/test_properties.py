@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 
 from repro.cache.cache import Cache
 from repro.config import CacheConfig, MemoryConfig, NocConfig, tiny_scale
+from repro.exp import ShardSpec, SweepSpec, partition, spec_key
 from repro.mem.dram import DramModel
 from repro.noc.torus import TorusNetwork, grid_shape
 from repro.sched.base import BaselineScheduler
@@ -112,6 +113,52 @@ def test_torus_distance_bound(num_nodes):
     for src in range(num_nodes):
         for dst in range(num_nodes):
             assert torus.hop_distance(src, dst) <= diameter
+
+
+@st.composite
+def sweep_specs(draw):
+    """Random valid SweepSpecs over the cheap-to-validate axes."""
+    schedulers = tuple(draw(st.lists(
+        st.sampled_from(["base", "strex", "slicc", "hybrid"]),
+        min_size=1, max_size=3, unique=True)))
+    team_sizes = (None,)
+    if any(s in ("strex", "hybrid") for s in schedulers):
+        team_sizes = draw(st.sampled_from([(None,), (2,), (None, 4)]))
+    return SweepSpec(
+        workloads=tuple(draw(st.lists(
+            st.sampled_from(["tpcc", "tpce", "mapreduce"]),
+            min_size=1, max_size=2, unique=True))),
+        schedulers=schedulers,
+        cores=tuple(draw(st.lists(st.integers(1, 8), min_size=1,
+                                  max_size=2, unique=True))),
+        team_sizes=team_sizes,
+        seeds=tuple(draw(st.lists(st.integers(0, 10_000), min_size=1,
+                                  max_size=3, unique=True))),
+        scales=("tiny",),
+        transactions=draw(st.integers(1, 8)),
+    )
+
+
+@given(sweep_specs())
+@settings(max_examples=25, deadline=None)
+def test_shard_assignment_is_a_partition(sweep):
+    """Property: for any sweep, every expanded cell's cache key lands
+    in exactly one of N hash-range shards, for several N — sharding
+    never drops or duplicates a cell."""
+    specs = sweep.expand()
+    keys = [spec_key(spec) for spec in specs]
+    for count in (1, 2, 3, 7):
+        shards = [ShardSpec(i, count) for i in range(count)]
+        for key in keys:
+            owners = [s.index for s in shards if s.selects(key)]
+            assert owners == [ShardSpec.assign(key, count)]
+        _, by_shard = partition(specs, count)
+        indices = sorted(i for owned in by_shard.values()
+                         for i in owned)
+        assert indices == list(range(len(specs)))
+        for shard_index, owned in by_shard.items():
+            for idx in owned:
+                assert ShardSpec(shard_index, count).selects(keys[idx])
 
 
 @given(trace_sets())
