@@ -38,7 +38,14 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from repro.config import SCALES, SystemConfig
-from repro.exp import ResultCache, Runner, RunSpec, ShardSpec, SweepSpec
+from repro.exp import (
+    Manifest,
+    ResultCache,
+    Runner,
+    RunSpec,
+    ShardSpec,
+    SweepSpec,
+)
 from repro.trace.trace import TransactionTrace
 from repro.workloads.mapreduce import MapReduceWorkload
 from repro.workloads.tpcc import TpccWorkload
@@ -203,13 +210,23 @@ def bench_sweep(labels: Sequence[str], **kwargs) -> SweepSpec:
 
 
 def run_grid(specs: Sequence[RunSpec], jobs: Optional[int] = None,
-             use_cache: Optional[bool] = None) -> List:
+             use_cache: Optional[bool] = None,
+             name: Optional[str] = None) -> List:
     """Run benchmark specs through the ``repro.exp`` runner.
 
     Results align positionally with ``specs``.  Parallelism defaults
     to ``REPRO_BENCH_JOBS`` (0 = in-process) and caching to
     ``REPRO_BENCH_CACHE`` (on unless set to ``0``); the shared cache
     lives in ``benchmarks/out/.cache`` with its run manifest.
+
+    ``name`` labels the grid for auditing: the sweep's manifest rows
+    are *also* recorded to ``<cache>/audit/<name>.jsonl``, a
+    per-bench manifest suitable for ``repro diff`` (the shared
+    manifest interleaves every bench; the audit manifest isolates one
+    figure's cells, so two checkouts' figures diff directly)::
+
+        python -m repro diff old/.cache/audit/fig5.jsonl \\
+            benchmarks/out/.cache/audit/fig5.jsonl
 
     Under ``REPRO_BENCH_SHARD=i/N`` only the shard's cells are
     computed (into the shared cache — per-job on CI, so the cache
@@ -223,6 +240,10 @@ def run_grid(specs: Sequence[RunSpec], jobs: Optional[int] = None,
     cache = ResultCache(CACHE_DIR) if use_cache else None
     runner = Runner(jobs=jobs, cache=cache, shard=_SHARD)
     results = runner.run(specs)
+    if name is not None and cache is not None:
+        audit = Manifest(CACHE_DIR / "audit" / f"{name}.jsonl")
+        for entry in runner.entries:
+            audit.record(entry)
     if _SHARD is not None and runner.skipped:
         import pytest
 

@@ -59,7 +59,7 @@ def ablation_specs():
 
 def run_ablation():
     cells = ablation_specs()
-    runs = run_grid([spec for _, spec in cells])
+    runs = run_grid([spec for _, spec in cells], name="ablation")
     raw = {label: run for (label, _), run in zip(cells, runs)}
     base = raw.pop("base")
     return {

@@ -33,7 +33,7 @@ def run_fig2():
                    mix_seed=SEED)
         for txn_type in TXN_TYPES
     ]
-    return dict(zip(TXN_TYPES, run_grid(specs)))
+    return dict(zip(TXN_TYPES, run_grid(specs, name="fig2")))
 
 
 def test_fig2_overlap(benchmark):

@@ -37,7 +37,7 @@ def run_fig4():
                           bench_spec(label, 1, "strex",
                                      team_size=TEAM_SIZE, **common)))
     flat = [spec for _, base, sync in cells for spec in (base, sync)]
-    runs = iter(run_grid(flat))
+    runs = iter(run_grid(flat, name="fig4"))
     return {
         key: (next(runs).i_mpki, next(runs).i_mpki)
         for key, _, _ in cells

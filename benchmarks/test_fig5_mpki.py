@@ -33,7 +33,8 @@ def run_fig5():
              for cores in CORE_COUNTS
              for scheduler in SCHEDULERS]
     runs = run_grid([bench_spec(name, cores, scheduler)
-                     for name, cores, scheduler in cells])
+                     for name, cores, scheduler in cells],
+                    name="fig5")
     results = dict(zip(cells, runs))
     rows = [[name, cores, scheduler,
              round(run.i_mpki, 2), round(run.d_mpki, 2)]

@@ -42,7 +42,8 @@ def run_fig6():
              for scheme in SCHEMES]
     runs = run_grid([
         bench_spec(name, cores, scheduler, prefetcher=prefetcher)
-        for name, cores, (label, scheduler, prefetcher) in cells])
+        for name, cores, (label, scheduler, prefetcher) in cells],
+        name="fig6")
     return {(name, cores, label): run
             for (name, cores, (label, _, _)), run in zip(cells, runs)}
 

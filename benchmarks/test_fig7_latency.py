@@ -35,7 +35,7 @@ def run_fig7():
         (f"SLICC-{cores}", bench_spec("TPC-C-10", cores, "slicc"))
         for cores in SLICC_CORES
     ]
-    runs = run_grid([spec for _, spec in cells])
+    runs = run_grid([spec for _, spec in cells], name="fig7")
     return [
         LatencyDistribution(label, run.latencies)
         for (label, _), run in zip(cells, runs)

@@ -24,7 +24,7 @@ def run_fig8():
     runs = run_grid([
         bench_spec(name, CORES) if team_size == "base"
         else bench_spec(name, CORES, "strex", team_size=team_size)
-        for name, team_size in cells])
+        for name, team_size in cells], name="fig8")
     raw = dict(zip(cells, runs))
     results = {}
     for name in WORKLOADS:

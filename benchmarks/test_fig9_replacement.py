@@ -28,7 +28,7 @@ def run_fig9():
                 for name in WORKLOADS for policy in WITH_STREX])
     runs = run_grid([
         bench_spec(name, CORES, scheduler, replacement=policy)
-        for name, scheduler, policy in cells])
+        for name, scheduler, policy in cells], name="fig9")
     return {cell: run.i_mpki for cell, run in zip(cells, runs)}
 
 

@@ -26,7 +26,8 @@ def run_smt():
              for label in WORKLOADS
              for scheduler in ("base", "smt")]
     runs = run_grid([bench_spec(label, CORES, scheduler)
-                     for label, scheduler in cells])
+                     for label, scheduler in cells],
+                    name="future_smt")
     raw = dict(zip(cells, runs))
     return {label: (raw[(label, "base")], raw[(label, "smt")])
             for label in WORKLOADS}

@@ -36,7 +36,7 @@ def run_future():
     runs = run_grid([
         bench_spec("TPC-C-1", CORES, scheduler, prefetcher)
         for _, scheduler, prefetcher in COMBOS
-    ])
+    ], name="future_prefetch")
     return {label: run
             for (label, _, _), run in zip(COMBOS, runs)}
 

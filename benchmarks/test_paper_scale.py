@@ -56,7 +56,7 @@ def run_paper_scale():
                       transactions=FP_SAMPLES, seed=SEED, mix_seed=SEED,
                       scale="paper")
     specs = sweep.expand()
-    runs = run_grid(specs + [profile])
+    runs = run_grid(specs + [profile], name="paper_scale")
     grid = {(spec.scheduler, spec.cores): run
             for spec, run in zip(specs, runs[:-1])}
     return grid, runs[-1]

@@ -31,7 +31,7 @@ def run_table3():
         for label, _ in SUITES
     ]
     return {paper_key: table
-            for (_, paper_key), table in zip(SUITES, run_grid(specs))}
+            for (_, paper_key), table in zip(SUITES, run_grid(specs, name="table3"))}
 
 
 def test_table3_fptable(benchmark):

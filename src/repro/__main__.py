@@ -17,6 +17,15 @@ The ``manifest`` subcommand summarizes the run manifest the cache
 keeps: hit rates, wall time by workload/scheduler, and the slowest
 cells.
 
+The ``diff`` subcommand is the audit layer: it aligns two sweeps'
+manifests cell-by-cell by *spec identity* (ignoring the source
+fingerprint) and reports per-metric drift, exiting nonzero on any
+out-of-tolerance change; ``diff --reference`` instead runs a grid
+through both the fast-path and ``REPRO_SIM_REFERENCE=1`` kernels and
+asserts byte-equal results.  The ``baseline`` subcommand maintains
+committed metric snapshots (``pin``/``check``/``update``) that give
+CI a cell-level regression gate.
+
 Examples::
 
     python -m repro --workload tpcc --scheduler strex --cores 4
@@ -38,6 +47,16 @@ Examples::
     python -m repro manifest --keep-last 5
     python -m repro perf --scale tiny
     python -m repro perf --repeats 7 --out BENCH_sim.json
+    python -m repro perf --check prior/BENCH_sim.json --max-slowdown 0.15
+    python -m repro diff old/.cache/manifest.jsonl new/.cache
+    python -m repro diff a/manifest.jsonl b/manifest.jsonl \\
+        --rel-tol 0.01 --markdown
+    python -m repro diff --reference --workloads tpcc --schedulers \\
+        base strex --cores 2 --scales tiny
+    python -m repro baseline pin baselines/ci-tiny.json --scales tiny \\
+        --workloads tpcc tpce --schedulers base strex slicc hybrid
+    python -m repro baseline check baselines/ci-tiny.json
+    python -m repro baseline update baselines/ci-tiny.json
 """
 
 from __future__ import annotations
@@ -46,7 +65,7 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import List
+from typing import List, Tuple
 
 from repro.analysis.report import format_table
 from repro.config import SCALES, default_scale, paper_scale
@@ -57,11 +76,17 @@ from repro.exp import (
     RunSpec,
     ShardSpec,
     SweepSpec,
+    Tolerance,
+    check_baseline,
+    diff_manifests,
     merge_caches,
+    pin_baseline,
+    reference_diff,
     run_all_shards,
     run_shard,
     shard_root,
     summarize_entries,
+    update_baseline,
 )
 from repro.sim.api import PREFETCHERS, SCHEDULERS, simulate
 from repro.workloads import WORKLOADS
@@ -442,6 +467,156 @@ def run_manifest(argv: List[str]) -> str:
     return "\n".join(lines)
 
 
+def _add_tolerance_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--abs-tol", type=float, default=0.0,
+                        metavar="X",
+                        help="absolute per-metric tolerance "
+                             "(default 0: exact)")
+    parser.add_argument("--rel-tol", type=float, default=0.0,
+                        metavar="F",
+                        help="relative per-metric tolerance vs the "
+                             "reference side (default 0: exact)")
+
+
+def _manifest_path(path: Path) -> Path:
+    """Accept either a manifest file or a cache directory."""
+    if path.is_dir():
+        return path / "manifest.jsonl"
+    return path
+
+
+def build_diff_parser() -> argparse.ArgumentParser:
+    """Parser for the ``diff`` subcommand (the audit layer)."""
+    parser = argparse.ArgumentParser(
+        prog="repro diff",
+        description="Compare two sweeps cell by cell: align their "
+                    "manifests by spec identity (config + params + "
+                    "mode, ignoring the source fingerprint), classify "
+                    "each cell as identical/changed/added/removed, "
+                    "and report per-metric deltas.  Exits nonzero on "
+                    "any out-of-tolerance change.  With --reference, "
+                    "instead runs a grid through both the fast-path "
+                    "and REPRO_SIM_REFERENCE=1 kernels and asserts "
+                    "byte-equal results per cell.",
+    )
+    parser.add_argument("a", nargs="?", type=Path, metavar="MANIFEST_A",
+                        help="reference sweep: manifest file or cache "
+                             "directory")
+    parser.add_argument("b", nargs="?", type=Path, metavar="MANIFEST_B",
+                        help="candidate sweep: manifest file or cache "
+                             "directory")
+    parser.add_argument("--cache-a", type=Path, default=None,
+                        metavar="DIR",
+                        help="result cache for MANIFEST_A (default: "
+                             "the manifest's directory)")
+    parser.add_argument("--cache-b", type=Path, default=None,
+                        metavar="DIR",
+                        help="result cache for MANIFEST_B (default: "
+                             "the manifest's directory)")
+    _add_tolerance_arguments(parser)
+    parser.add_argument("--strict", action="store_true",
+                        help="also fail on added/removed cells, not "
+                             "just changed/missing ones")
+    output = parser.add_mutually_exclusive_group()
+    output.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON")
+    output.add_argument("--markdown", action="store_true",
+                        help="emit GitHub-flavored markdown (for PR "
+                             "comments)")
+    parser.add_argument("--reference", action="store_true",
+                        help="diff the fast-path kernel against "
+                             "REPRO_SIM_REFERENCE=1 on the grid flags "
+                             "below (byte-equality; tolerances do not "
+                             "apply)")
+    _add_grid_arguments(parser)
+    return parser
+
+
+def run_diff(argv: List[str]) -> Tuple[str, int]:
+    """Execute the ``diff`` subcommand; returns (report, exit code)."""
+    args = build_diff_parser().parse_args(argv)
+    if args.reference:
+        if args.a is not None or args.b is not None:
+            raise ValueError(
+                "--reference takes grid flags, not manifest paths")
+        report = reference_diff(_grid_sweep(args).expand())
+    else:
+        if args.a is None or args.b is None:
+            raise ValueError(
+                "diff needs two manifests (or --reference)")
+        report = diff_manifests(
+            _manifest_path(args.a), _manifest_path(args.b),
+            cache_a=args.cache_a, cache_b=args.cache_b,
+            tolerance=Tolerance(abs_tol=args.abs_tol,
+                                rel_tol=args.rel_tol))
+    if args.json:
+        text = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+    elif args.markdown:
+        text = report.format_markdown()
+    else:
+        text = report.format_text()
+    return text, report.exit_code(strict=args.strict)
+
+
+def build_baseline_parser() -> argparse.ArgumentParser:
+    """Parser for the ``baseline`` subcommand (pinned snapshots)."""
+    parser = argparse.ArgumentParser(
+        prog="repro baseline",
+        description="Maintain committed metric snapshots of a sweep.  "
+                    "'pin' runs the grid flags below and writes the "
+                    "snapshot; 'check' re-runs the pinned specs (the "
+                    "file is self-contained) and exits nonzero on "
+                    "drift; 'update' re-runs and overwrites the "
+                    "snapshot.  Snapshots hold metric vectors, not "
+                    "raw bytes, so fingerprint-only changes stay "
+                    "green.",
+    )
+    parser.add_argument("action", choices=("pin", "check", "update"))
+    parser.add_argument("path", type=Path, metavar="FILE",
+                        help="baseline JSON file (commit it; "
+                             "baselines/ by convention)")
+    parser.add_argument("--name", type=str, default=None,
+                        help="snapshot name recorded in the file "
+                             "(pin only; default: the file stem)")
+    _add_tolerance_arguments(parser)
+    parser.add_argument("--json", action="store_true",
+                        help="emit the check's diff as JSON")
+    _add_grid_arguments(parser)
+    _add_runner_arguments(parser)
+    return parser
+
+
+def run_baseline(argv: List[str]) -> Tuple[str, int]:
+    """Execute the ``baseline`` subcommand; returns (report, code)."""
+    args = build_baseline_parser().parse_args(argv)
+    runner = Runner(jobs=args.jobs, cache=ResultCache(args.cache_dir),
+                    timeout=args.timeout, retries=args.retries)
+    if args.action == "pin":
+        specs = _grid_sweep(args).expand()
+        baseline = pin_baseline(
+            specs, args.path, runner=runner,
+            name=args.name if args.name is not None else args.path.stem)
+        return (f"pinned {len(baseline.cells)} cell(s) -> {args.path}",
+                0)
+    if args.action == "update":
+        baseline = update_baseline(args.path, runner=runner)
+        return (f"updated {len(baseline.cells)} cell(s) in "
+                f"{args.path}", 0)
+    report = check_baseline(
+        args.path, runner=runner,
+        tolerance=Tolerance(abs_tol=args.abs_tol,
+                            rel_tol=args.rel_tol))
+    if args.json:
+        text = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+    else:
+        verdict = "OK" if report.ok(strict=True) else "DRIFT"
+        text = (f"baseline {args.path}: {verdict}\n"
+                + report.format_text())
+    # A pinned cell that vanishes is as much of a regression as one
+    # that moves, hence strict.
+    return text, report.exit_code(strict=True)
+
+
 def build_perf_parser() -> argparse.ArgumentParser:
     """Parser for the ``perf`` subcommand (kernel microbenchmark)."""
     parser = argparse.ArgumentParser(
@@ -465,12 +640,23 @@ def build_perf_parser() -> argparse.ArgumentParser:
                         default=Path("BENCH_sim.json"),
                         help="JSON report path (default: "
                              "BENCH_sim.json in the current directory)")
+    parser.add_argument("--check", type=Path, default=None,
+                        metavar="PRIOR",
+                        help="compare the fresh report against this "
+                             "prior BENCH_sim.json and exit nonzero "
+                             "on a kernel slowdown beyond "
+                             "--max-slowdown (a missing PRIOR is "
+                             "skipped: first runs have no baseline)")
+    parser.add_argument("--max-slowdown", type=float, default=0.15,
+                        metavar="F",
+                        help="tolerated fractional events/s drop for "
+                             "--check (default 0.15)")
     return parser
 
 
-def run_perf(argv: List[str]) -> str:
-    """Execute the ``perf`` subcommand; returns the printed report."""
-    from repro.perf import run_bench, write_bench
+def run_perf(argv: List[str]) -> Tuple[str, int]:
+    """Execute the ``perf`` subcommand; returns (report, exit code)."""
+    from repro.perf import check_regression, run_bench, write_bench
     from repro.perf.bench import format_report
 
     args = build_perf_parser().parse_args(argv)
@@ -483,7 +669,16 @@ def run_perf(argv: List[str]) -> str:
         cores=args.cores,
     )
     write_bench(report, args.out)
-    return format_report(report) + f"\nwrote {args.out}"
+    text = format_report(report) + f"\nwrote {args.out}"
+    if args.check is None:
+        return text, 0
+    if not args.check.exists():
+        return (text + f"\nno prior report at {args.check}; "
+                f"nothing to gate against", 0)
+    prior = json.loads(args.check.read_text())
+    ok, message = check_regression(report, prior,
+                                   max_slowdown=args.max_slowdown)
+    return text + "\n" + message, 0 if ok else 1
 
 
 def main(argv=None) -> int:
@@ -500,8 +695,17 @@ def main(argv=None) -> int:
             print(run_manifest(argv[1:]))
             return 0
         if argv and argv[0] == "perf":
-            print(run_perf(argv[1:]))
-            return 0
+            text, code = run_perf(argv[1:])
+            print(text)
+            return code
+        if argv and argv[0] == "diff":
+            text, code = run_diff(argv[1:])
+            print(text)
+            return code
+        if argv and argv[0] == "baseline":
+            text, code = run_baseline(argv[1:])
+            print(text)
+            return code
         args = build_parser().parse_args(argv)
         report = run_sweep(args) if args.sweep else run_single(args)
     except ValueError as exc:

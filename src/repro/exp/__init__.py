@@ -19,14 +19,45 @@ key, :func:`run_shard` executes one slice into a private directory,
 :func:`merge_caches` unions shard caches conflict-safely, and
 :func:`run_all_shards` orchestrates a full local multi-process sweep
 (``repro shard`` on the command line).
+
+:mod:`repro.exp.diff` and :mod:`repro.exp.baseline` are ``repro.audit``
+— the auditing layer over the whole pipeline: ``repro diff`` aligns
+two sweeps by spec identity and reports per-metric drift,
+``repro diff --reference`` cross-checks the fast and reference
+kernels byte-for-byte, and ``repro baseline pin|check|update``
+maintains committed metric snapshots that give CI a cell-level
+regression gate.
 """
 
+from repro.exp.baseline import (
+    BASELINE_SCHEMA,
+    Baseline,
+    BaselineError,
+    check_baseline,
+    pin_baseline,
+    snapshot_cells,
+    update_baseline,
+)
 from repro.exp.cache import (
     CACHE_SCHEMA,
+    IDENTITY_SCHEMA,
     RESULT_TYPES,
     ResultCache,
     code_fingerprint,
+    spec_identity,
     spec_key,
+)
+from repro.exp.diff import (
+    Cell,
+    CellDiff,
+    DiffReport,
+    MetricDelta,
+    Tolerance,
+    diff_cells,
+    diff_manifests,
+    manifest_cells,
+    metric_vector,
+    reference_diff,
 )
 from repro.exp.manifest import (
     Manifest,
@@ -55,12 +86,20 @@ from repro.exp.shard import (
 from repro.exp.spec import MODES, RunSpec, ShardSpec, SweepSpec
 
 __all__ = [
+    "BASELINE_SCHEMA",
+    "Baseline",
+    "BaselineError",
     "CACHE_SCHEMA",
+    "Cell",
+    "CellDiff",
+    "DiffReport",
+    "IDENTITY_SCHEMA",
     "MODES",
     "Manifest",
     "ManifestEntry",
     "ManifestSummary",
     "MergeReport",
+    "MetricDelta",
     "RESULT_TYPES",
     "ResultCache",
     "RunError",
@@ -73,13 +112,24 @@ __all__ = [
     "ShardSweepReport",
     "SimTimeoutError",
     "SweepSpec",
+    "Tolerance",
+    "check_baseline",
     "code_fingerprint",
+    "diff_cells",
+    "diff_manifests",
     "execute_spec",
+    "manifest_cells",
     "merge_caches",
+    "metric_vector",
     "partition",
+    "pin_baseline",
+    "snapshot_cells",
+    "reference_diff",
     "run_all_shards",
     "run_shard",
     "shard_root",
+    "spec_identity",
     "spec_key",
     "summarize_entries",
+    "update_baseline",
 ]

@@ -1,0 +1,199 @@
+"""Pinned baselines: a committed regression gate for cached sweeps.
+
+A *baseline* snapshots a sweep's **metric vectors** — not raw result
+bytes — keyed by spec identity, into a small JSON file meant to live
+in version control (``baselines/`` by convention).  Because the
+snapshot holds metrics rather than cache keys, a fingerprint-only
+change (refactor, comment, docstring) re-keys the cache but leaves
+the baseline green; only a change that actually moves a metric trips
+it.  That makes ``repro baseline check`` a real CI regression gate:
+
+* ``repro baseline pin <file> <grid flags>`` — run a grid (tiny scale
+  in CI) and write the snapshot;
+* ``repro baseline check <file>`` — re-run the *pinned specs* (the
+  file is self-contained; no grid flags needed) and diff the fresh
+  metric vectors against the pin, exiting nonzero on drift;
+* ``repro baseline update <file>`` — re-run the pinned specs and
+  overwrite the snapshot (the "this change is intentional" half of
+  the workflow, reviewed like any other diff).
+
+The comparison itself is :func:`repro.exp.diff.diff_cells`, so a
+failing check names the exact cells and metrics that moved.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.exp.cache import IDENTITY_SCHEMA, spec_identity
+from repro.exp.diff import Cell, DiffReport, Tolerance, diff_cells
+from repro.exp.runner import Runner
+from repro.exp.spec import RunSpec
+
+#: Bump when the baseline file format changes shape.
+BASELINE_SCHEMA = 1
+
+
+class BaselineError(ValueError):
+    """A baseline file is malformed or incompatible."""
+
+
+def snapshot_cells(specs: Sequence[RunSpec], results: Sequence[object]
+                   ) -> Dict[str, Cell]:
+    """Identity-aligned cells for spec/result pairs (run them first)."""
+    if len(specs) != len(results):
+        raise ValueError(
+            f"{len(specs)} spec(s) but {len(results)} result(s)")
+    cells: Dict[str, Cell] = {}
+    for spec, result in zip(specs, results):
+        if result is None:
+            raise ValueError(
+                f"cell {spec.describe()} has no result (sharded run?); "
+                f"baselines need the whole grid")
+        cell = Cell.from_result(spec, result)
+        cells[cell.identity] = cell
+    return cells
+
+
+class Baseline:
+    """An identity-keyed metric snapshot with a stable file form."""
+
+    def __init__(self, cells: Dict[str, Cell],
+                 name: Optional[str] = None,
+                 created: Optional[float] = None):
+        self.cells = dict(cells)
+        self.name = name
+        self.created = created
+
+    @classmethod
+    def from_run(cls, specs: Sequence[RunSpec],
+                 results: Sequence[object],
+                 name: Optional[str] = None) -> "Baseline":
+        return cls(snapshot_cells(specs, results), name=name,
+                   created=round(time.time(), 3))
+
+    def specs(self) -> List[RunSpec]:
+        """The pinned specs, in stable (label) order."""
+        return [RunSpec.from_dict(cell.spec)
+                for cell in sorted(self.cells.values(),
+                                   key=lambda c: (c.label, c.identity))]
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": BASELINE_SCHEMA,
+            "identity_schema": IDENTITY_SCHEMA,
+            "name": self.name,
+            "created": self.created,
+            "cells": [
+                {
+                    "identity": cell.identity,
+                    "label": cell.label,
+                    "spec": cell.spec,
+                    "result_type": cell.result_type,
+                    "metrics": cell.metrics,
+                }
+                for cell in sorted(self.cells.values(),
+                                   key=lambda c: (c.label, c.identity))
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Baseline":
+        if not isinstance(data, dict):
+            raise BaselineError(
+                f"baseline must be a JSON object, got "
+                f"{type(data).__name__}")
+        if data.get("schema") != BASELINE_SCHEMA:
+            raise BaselineError(
+                f"baseline schema {data.get('schema')!r} != "
+                f"{BASELINE_SCHEMA}; re-pin it")
+        if data.get("identity_schema") != IDENTITY_SCHEMA:
+            raise BaselineError(
+                f"baseline identity schema "
+                f"{data.get('identity_schema')!r} != {IDENTITY_SCHEMA}; "
+                f"re-pin it")
+        cells: Dict[str, Cell] = {}
+        for row in data.get("cells", []):
+            spec = RunSpec.from_dict(row["spec"])
+            identity = spec_identity(spec)
+            if row.get("identity") not in (None, identity):
+                raise BaselineError(
+                    f"cell {row.get('label')!r} carries identity "
+                    f"{row.get('identity')!r} but its spec hashes to "
+                    f"{identity!r}; the file was hand-edited or "
+                    f"corrupted — re-pin it")
+            cells[identity] = Cell(
+                identity=identity,
+                spec=spec.to_dict(),
+                label=spec.describe(),
+                result_type=row.get("result_type"),
+                metrics=row.get("metrics"),
+            )
+        if not cells:
+            raise BaselineError("baseline holds no cells")
+        return cls(cells, name=data.get("name"),
+                   created=data.get("created"))
+
+    def save(self, path: Union[Path, str]) -> Path:
+        """Write the stable, diff-friendly JSON form."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True)
+            + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: Union[Path, str]) -> "Baseline":
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise BaselineError(
+                f"baseline {path} is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+
+def pin_baseline(specs: Sequence[RunSpec], path: Union[Path, str],
+                 runner: Optional[Runner] = None,
+                 name: Optional[str] = None) -> Baseline:
+    """Run ``specs`` and snapshot their metric vectors to ``path``."""
+    runner = runner or Runner()
+    results = runner.run(list(specs))
+    baseline = Baseline.from_run(list(specs), results, name=name)
+    baseline.save(path)
+    return baseline
+
+
+def check_baseline(baseline: Union[Baseline, Path, str],
+                   runner: Optional[Runner] = None,
+                   tolerance: Optional[Tolerance] = None) -> DiffReport:
+    """Re-run a baseline's pinned specs and diff against the pin.
+
+    The pinned side is A (the reference); the fresh run is B.  The
+    cache is fair game for the fresh side — the content-addressed key
+    folds in the source fingerprint, so a code change forces real
+    re-execution while an unchanged tree is served instantly.
+    """
+    if not isinstance(baseline, Baseline):
+        baseline = Baseline.load(baseline)
+    runner = runner or Runner()
+    specs = baseline.specs()
+    results = runner.run(specs)
+    fresh = snapshot_cells(specs, results)
+    return diff_cells(baseline.cells, fresh, tolerance)
+
+
+def update_baseline(path: Union[Path, str],
+                    runner: Optional[Runner] = None) -> Baseline:
+    """Re-run a baseline's pinned specs and overwrite the snapshot."""
+    prior = Baseline.load(path)
+    runner = runner or Runner()
+    specs = prior.specs()
+    results = runner.run(specs)
+    fresh = Baseline.from_run(specs, results, name=prior.name)
+    fresh.save(path)
+    return fresh

@@ -41,6 +41,12 @@ from repro.exp.spec import RunSpec
 #: Bump when the key schema or result schema changes shape.
 CACHE_SCHEMA = 2
 
+#: Bump when the *identity* payload (see :func:`spec_identity`)
+#: changes shape.  Deliberately independent of :data:`CACHE_SCHEMA`:
+#: identities must stay comparable across cache-schema bumps or every
+#: schema change would de-align every audit diff.
+IDENTITY_SCHEMA = 1
+
 #: Serializable result classes by name.  Every experiment mode's
 #: result type round-trips bit-identically through
 #: ``to_dict``/``from_dict``; the entry payload records which class to
@@ -102,6 +108,31 @@ def spec_key(spec: RunSpec) -> str:
         "replicas": spec.replicas,
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def spec_identity(spec: RunSpec) -> str:
+    """The version-independent *identity* of a cell (``repro.audit``).
+
+    Two runs of "the same experiment" under different simulator
+    versions have different cache keys (the key folds in the source
+    fingerprint, and the expanded config if a default moved) but the
+    same identity.  The identity therefore hashes the spec's *own
+    fields* — workload, scheduler, prefetcher, cores, seeds, scale
+    name, mode, overrides — never the code fingerprint and never the
+    materialized config: a simulator change (even one that shifts a
+    config default) keeps the cell aligned so the resulting metric
+    drift is reported as *changed* rather than as an added/removed
+    pair (DESIGN.md, decision 14).
+
+    ``mix_seed`` is normalized to its effective value so the two
+    spellings of "mix seed defaults to seed" share an identity, the
+    same way they share a cache key.
+    """
+    payload = spec.to_dict()
+    payload["mix_seed"] = spec.effective_mix_seed()
+    blob = json.dumps({"identity": IDENTITY_SCHEMA, "spec": payload},
+                      sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()
 
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -81,7 +82,7 @@ class Manifest:
             handle.write(line.rstrip("\n") + "\n")
 
     def tail(self, offset: int = 0) -> Tuple[List[str], int]:
-        """Complete lines appended since byte ``offset``.
+        """Complete, well-formed lines appended since byte ``offset``.
 
         Returns ``(lines, new_offset)``; a trailing partial line (a
         writer mid-``write``, or one killed mid-line) is left for the
@@ -89,6 +90,13 @@ class Manifest:
         streaming half of :meth:`record_raw`: the orchestrator polls
         each shard's manifest with its last offset to relay progress
         while shards are still running.
+
+        A *torn* line — a SIGKILLed shard's partial row that a
+        relaunched shard then appended a fresh row after, gluing the
+        fragment to the next newline-terminated write — does not parse
+        as JSON.  Such lines are skipped with a warning instead of
+        being relayed (and later raised on) downstream; the valid rows
+        around them still flow.
         """
         if not self.path.exists():
             return [], offset
@@ -98,9 +106,20 @@ class Manifest:
         end = blob.rfind(b"\n")
         if end < 0:
             return [], offset
-        lines = [line for line in
-                 blob[:end].decode(errors="replace").split("\n")
-                 if line.strip()]
+        lines = []
+        for line in blob[:end].decode(errors="replace").split("\n"):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                json.loads(line)
+            except json.JSONDecodeError:
+                warnings.warn(
+                    f"manifest {self.path}: skipping torn row "
+                    f"{line[:60]!r}... (a writer was killed mid-line)",
+                    RuntimeWarning, stacklevel=2)
+                continue
+            lines.append(line)
         return lines, offset + end + 1
 
     def read(self) -> List[ManifestEntry]:

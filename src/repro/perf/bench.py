@@ -19,7 +19,7 @@ import os
 import platform
 import time
 from pathlib import Path
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, Optional, Tuple
 
 from repro.config import SCALES
 from repro.fastpath import ENV_VAR
@@ -129,6 +129,57 @@ def run_bench(
         "python": platform.python_version(),
         "timestamp": time.time(),
     }
+
+
+#: Bench-report keys that must match for two reports to be comparable
+#: (per-event throughput is only meaningful on the same workload shape).
+_COMPARABLE_KEYS = ("bench", "scale", "workload", "transactions",
+                    "cores", "seed")
+
+
+def check_regression(current: Dict[str, object],
+                     prior: Dict[str, object],
+                     max_slowdown: float = 0.15
+                     ) -> "Tuple[bool, str]":
+    """Gate a fresh bench report against a prior artifact.
+
+    Compares fast-path ``events_per_s`` (wall time normalized per
+    event, so jitter in trace generation cannot hide in the number)
+    and fails on a drop of more than ``max_slowdown``.  Reports taken
+    under different parameters are not comparable and fail loudly —
+    a gate that silently skips is not a gate.
+
+    Returns ``(ok, message)``; the CLI turns ``ok`` into the exit
+    code.
+    """
+    if max_slowdown <= 0:
+        raise ValueError("max_slowdown must be positive")
+    mismatched = [
+        key for key in _COMPARABLE_KEYS
+        if current.get(key) != prior.get(key)
+    ]
+    if mismatched:
+        pairs = ", ".join(
+            f"{key}: {prior.get(key)!r} -> {current.get(key)!r}"
+            for key in mismatched)
+        return False, (
+            f"bench reports are not comparable ({pairs}); re-baseline "
+            f"with matching parameters")
+    try:
+        prior_eps = float(prior["fast"]["events_per_s"])
+        current_eps = float(current["fast"]["events_per_s"])
+    except (KeyError, TypeError, ValueError):
+        return False, "prior bench report is malformed; re-baseline"
+    if prior_eps <= 0:
+        return False, "prior bench report has no throughput; re-baseline"
+    slowdown = 1.0 - current_eps / prior_eps
+    verdict = (
+        f"fast path {current_eps:,.0f} events/s vs prior "
+        f"{prior_eps:,.0f} ({-100 * slowdown:+.1f}%; budget "
+        f"-{100 * max_slowdown:.0f}%)")
+    if slowdown > max_slowdown:
+        return False, f"kernel slowdown exceeds budget: {verdict}"
+    return True, f"kernel within budget: {verdict}"
 
 
 def write_bench(report: Dict[str, object], out: Path) -> None:

@@ -277,6 +277,56 @@ class TestMergeConflicts:
             cache.put_bytes("0" * 64, b'not json')
 
 
+class TestMergeEdgeCases:
+    """Degenerate shard shapes the orchestrator produces routinely:
+    a shard killed before its first write (empty or missing root) and
+    a shard whose hash range happens to own zero cells of the grid.
+    All must merge as clean no-ops, never as errors."""
+
+    def test_empty_shard_directory_is_a_clean_noop(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        report = merge_caches(tmp_path / "merged", [empty])
+        assert (report.sources, report.added) == (1, 0)
+        assert len(ResultCache(tmp_path / "merged")) == 0
+
+    def test_missing_shard_root_is_a_clean_noop(self, tmp_path):
+        report = merge_caches(tmp_path / "merged",
+                              [tmp_path / "never-created"])
+        assert (report.sources, report.added) == (1, 0)
+
+    def test_empty_sources_mixed_with_real_ones(self, tmp_path):
+        spec = RunSpec(workload="tpcc", scheduler="base", cores=1,
+                       transactions=4, seed=7, scale="tiny")
+        real = tmp_path / "real"
+        ResultCache(real).put(spec_key(spec), execute_spec(spec), spec)
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        report = merge_caches(
+            tmp_path / "merged",
+            [empty, real, tmp_path / "missing"])
+        assert (report.sources, report.added) == (3, 1)
+        assert ResultCache(tmp_path / "merged").read_bytes(
+            spec_key(spec)) == ResultCache(real).read_bytes(
+            spec_key(spec))
+
+    def test_shard_owning_zero_cells_merges_cleanly(self, tmp_path):
+        """A 1-cell sweep split N ways leaves N-1 shards with nothing
+        to do; their (manifest-only) roots must still merge."""
+        spec = RunSpec(workload="tpcc", scheduler="base", cores=1,
+                       transactions=4, seed=7, scale="tiny")
+        _, assignment = partition([spec], N)
+        idle_index = next(i for i in range(N) if not assignment[i])
+        shard = ShardSpec(index=idle_index, count=N)
+        root = tmp_path / "idle"
+        run = run_shard([spec], shard, root)
+        assert run.selected == 0
+        assert run.results == [None]
+        report = merge_caches(tmp_path / "merged", [root])
+        assert report.added == 0
+        assert len(ResultCache(tmp_path / "merged")) == 0
+
+
 class TestCrossProcessDeterminism:
     def test_results_do_not_depend_on_hash_randomization(self,
                                                          tmp_path):
