@@ -22,9 +22,18 @@ manifests cell-by-cell by *spec identity* (ignoring the source
 fingerprint) and reports per-metric drift, exiting nonzero on any
 out-of-tolerance change; ``diff --reference`` instead runs a grid
 through both the fast-path and ``REPRO_SIM_REFERENCE=1`` kernels and
-asserts byte-equal results.  The ``baseline`` subcommand maintains
-committed metric snapshots (``pin``/``check``/``update``) that give
-CI a cell-level regression gate.
+asserts byte-equal results; ``diff --audit A B`` walks two
+``audit/<fig>.jsonl`` directories and prints a per-figure drift
+dashboard.  The ``baseline`` subcommand maintains committed metric
+snapshots (``pin``/``check``/``update``) that give CI a cell-level
+regression gate.
+
+The ``fuzz`` subcommand is the verification layer (``repro.verify``):
+``fuzz run`` generates seeded hostile cases and runs each through the
+fast *and* reference kernels with the invariant oracles armed
+(byte-equal results required), shrinking and saving any failure as a
+one-file JSON repro; ``fuzz replay``/``fuzz corpus`` re-run saved
+cases (``tests/corpus/`` is the committed corpus).
 
 Examples::
 
@@ -53,6 +62,12 @@ Examples::
         --rel-tol 0.01 --markdown
     python -m repro diff --reference --workloads tpcc --schedulers \\
         base strex --cores 2 --scales tiny
+    python -m repro diff --audit old/.cache new/.cache --strict
+    python -m repro fuzz run --cases 50 --seed 7
+    python -m repro fuzz run --cases 200 --schedulers strex \\
+        --save-failures fuzz-failures --time-budget 60
+    python -m repro fuzz corpus
+    python -m repro fuzz replay tests/corpus/one-core-torus.json
     python -m repro baseline pin baselines/ci-tiny.json --scales tiny \\
         --workloads tpcc tpce --schedulers base strex slicc hybrid
     python -m repro baseline check baselines/ci-tiny.json
@@ -77,6 +92,7 @@ from repro.exp import (
     ShardSpec,
     SweepSpec,
     Tolerance,
+    audit_diff,
     check_baseline,
     diff_manifests,
     merge_caches,
@@ -523,11 +539,17 @@ def build_diff_parser() -> argparse.ArgumentParser:
     output.add_argument("--markdown", action="store_true",
                         help="emit GitHub-flavored markdown (for PR "
                              "comments)")
-    parser.add_argument("--reference", action="store_true",
-                        help="diff the fast-path kernel against "
-                             "REPRO_SIM_REFERENCE=1 on the grid flags "
-                             "below (byte-equality; tolerances do not "
-                             "apply)")
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument("--reference", action="store_true",
+                      help="diff the fast-path kernel against "
+                           "REPRO_SIM_REFERENCE=1 on the grid flags "
+                           "below (byte-equality; tolerances do not "
+                           "apply)")
+    mode.add_argument("--audit", action="store_true",
+                      help="treat A and B as audit directories "
+                           "(<cache>/audit with one <fig>.jsonl per "
+                           "bench) and print a per-figure drift "
+                           "dashboard")
     _add_grid_arguments(parser)
     return parser
 
@@ -540,10 +562,18 @@ def run_diff(argv: List[str]) -> Tuple[str, int]:
             raise ValueError(
                 "--reference takes grid flags, not manifest paths")
         report = reference_diff(_grid_sweep(args).expand())
+    elif args.audit:
+        if args.a is None or args.b is None:
+            raise ValueError(
+                "diff --audit needs two audit (or cache) directories")
+        report = audit_diff(
+            args.a, args.b,
+            tolerance=Tolerance(abs_tol=args.abs_tol,
+                                rel_tol=args.rel_tol))
     else:
         if args.a is None or args.b is None:
             raise ValueError(
-                "diff needs two manifests (or --reference)")
+                "diff needs two manifests (or --reference/--audit)")
         report = diff_manifests(
             _manifest_path(args.a), _manifest_path(args.b),
             cache_a=args.cache_a, cache_b=args.cache_b,
@@ -615,6 +645,120 @@ def run_baseline(argv: List[str]) -> Tuple[str, int]:
     # A pinned cell that vanishes is as much of a regression as one
     # that moves, hence strict.
     return text, report.exit_code(strict=True)
+
+
+def build_fuzz_parser() -> argparse.ArgumentParser:
+    """Parser for the ``fuzz`` subcommand (``repro.verify``).
+
+    Shares the sweep-grid argument factoring with ``sweep``/``shard``
+    (one ``--workloads``/``--schedulers``/... vocabulary everywhere),
+    but defaults every axis to *unset*: an unset axis means "sample
+    the full hostile pool", not the sweep's fixed grid.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro fuzz",
+        description="Property-based differential fuzzing of the "
+                    "simulator: generate seeded hostile cases (or "
+                    "replay saved ones), run each through the fast "
+                    "AND REPRO_SIM_REFERENCE=1 kernels with the "
+                    "REPRO_SIM_CHECK=1 invariant oracles armed, and "
+                    "require byte-equal results.  Failures are "
+                    "shrunk to minimal one-file JSON repros; "
+                    "tests/corpus/ holds the committed replay "
+                    "corpus.",
+    )
+    parser.add_argument("action", choices=("run", "replay", "corpus"),
+                        help="run: fresh seeded cases; replay: the "
+                             "given case files/directories; corpus: "
+                             "the committed corpus directory")
+    parser.add_argument("paths", nargs="*", type=Path, metavar="PATH",
+                        help="case files or directories for 'replay'")
+    parser.add_argument("--cases", type=int, default=25,
+                        help="number of generated cases for 'run'")
+    parser.add_argument("--seed", type=int, default=1013,
+                        help="campaign seed (printed for replay)")
+    parser.add_argument("--corpus-dir", type=Path,
+                        default=Path("tests/corpus"),
+                        help="committed corpus directory for 'corpus'")
+    parser.add_argument("--save-failures", type=Path, default=None,
+                        metavar="DIR",
+                        help="write shrunken failing cases here as "
+                             "JSON repros (CI uploads this dir)")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="report failures without minimizing them")
+    parser.add_argument("--no-check", action="store_true",
+                        help="differential comparison only; leave the "
+                             "invariant oracles disarmed")
+    parser.add_argument("--time-budget", type=float, default=None,
+                        metavar="S",
+                        help="stop generating new cases after S "
+                             "seconds of wall clock ('run' only)")
+    _add_grid_arguments(parser)
+    # Grid flags narrow the sampling pools only when given explicitly;
+    # the sweep defaults (cores=[2,4], tpcc-only, ...) would otherwise
+    # silently exclude the hostile corner the fuzzer exists to reach.
+    parser.set_defaults(workloads=None, schedulers=None,
+                        prefetchers=None, cores=None, team_sizes=None,
+                        seeds=None, scales=None, transactions=None)
+    return parser
+
+
+def run_fuzz(argv: List[str]) -> Tuple[str, int]:
+    """Execute the ``fuzz`` subcommand; returns (report, exit code)."""
+    from repro.verify import (
+        CasePools,
+        fuzz_run,
+        load_case,
+        load_corpus,
+        replay_cases,
+    )
+
+    args = build_fuzz_parser().parse_args(argv)
+    check = not args.no_check
+    shrink = not args.no_shrink
+
+    if args.action == "run":
+        if args.paths:
+            raise ValueError("'fuzz run' takes no PATH arguments "
+                             "(use 'fuzz replay')")
+        pools = CasePools.from_grid_args(args)
+        report = fuzz_run(
+            args.cases, args.seed, pools=pools, check=check,
+            shrink=shrink, save_dir=args.save_failures,
+            time_budget_s=args.time_budget)
+        header = (f"fuzz seed {args.seed}; replay with: "
+                  f"python -m repro fuzz run --cases {args.cases} "
+                  f"--seed {args.seed}")
+        return header + "\n" + report.format_text(), report.exit_code()
+
+    if args.action == "corpus":
+        pairs = load_corpus(args.corpus_dir)
+        if not pairs:
+            return (f"no corpus cases under {args.corpus_dir} "
+                    f"(expected committed *.json repros)", 2)
+        cases = [case for _, case in pairs]
+    else:
+        if not args.paths:
+            raise ValueError("'fuzz replay' needs case files or "
+                             "directories")
+        cases = []
+        for path in args.paths:
+            if path.is_dir():
+                cases += [case for _, case in load_corpus(path)]
+            else:
+                cases.append(load_case(path))
+        if not cases:
+            raise ValueError(
+                f"no case files found under {args.paths}")
+
+    report = replay_cases(cases, check=check, shrink=shrink,
+                          save_dir=args.save_failures)
+    rows = [[outcome.case.name, outcome.case.scheduler,
+             outcome.case.workload, outcome.status]
+            for outcome in report.outcomes]
+    table = format_table(["case", "scheduler", "workload", "status"],
+                         rows)
+    return table + "\n" + report.format_text(), report.exit_code()
 
 
 def build_perf_parser() -> argparse.ArgumentParser:
@@ -700,6 +844,10 @@ def main(argv=None) -> int:
             return code
         if argv and argv[0] == "diff":
             text, code = run_diff(argv[1:])
+            print(text)
+            return code
+        if argv and argv[0] == "fuzz":
+            text, code = run_fuzz(argv[1:])
             print(text)
             return code
         if argv and argv[0] == "baseline":

@@ -49,6 +49,8 @@ class CacheConfig:
             raise ValueError(
                 "size_bytes must be a multiple of assoc * block_bytes"
             )
+        if self.hit_latency < 0:
+            raise ValueError("hit_latency must be >= 0")
 
     @property
     def num_blocks(self) -> int:
@@ -77,6 +79,13 @@ class MemoryConfig:
     row_bytes: int = 8192
     open_page: bool = True
 
+    def __post_init__(self) -> None:
+        if self.base_latency < 0 or self.row_hit_latency < 0:
+            raise ValueError("DRAM latencies must be >= 0")
+        if self.num_channels <= 0 or self.num_banks <= 0 \
+                or self.row_bytes <= 0:
+            raise ValueError("DRAM geometry must be positive")
+
 
 @dataclass(frozen=True)
 class NocConfig:
@@ -84,6 +93,10 @@ class NocConfig:
 
     hop_latency: int = 1
     router_latency: int = 0
+
+    def __post_init__(self) -> None:
+        if self.hop_latency < 0 or self.router_latency < 0:
+            raise ValueError("NoC latencies must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -111,6 +124,17 @@ class StrexConfig:
     phase_bits: int = 8
     context_switch_cycles: int = 120
     min_progress_events: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.team_size <= 0 or self.window <= 0:
+            raise ValueError("team_size and window must be positive")
+        if not 1 <= self.phase_bits <= 30:
+            raise ValueError("phase_bits must be in [1, 30]")
+        if self.context_switch_cycles < 0:
+            raise ValueError("context_switch_cycles must be >= 0")
+        if self.min_progress_events is not None \
+                and self.min_progress_events < 0:
+            raise ValueError("min_progress_events must be >= 0 or None")
 
     @property
     def phase_modulo(self) -> int:
@@ -141,6 +165,20 @@ class SliccConfig:
     signature_match: float = 0.5
     team_factor: int = 2
     cooldown_events: int = 24
+
+    def __post_init__(self) -> None:
+        if self.miss_window <= 0 or self.miss_threshold <= 0 \
+                or self.team_factor <= 0:
+            raise ValueError(
+                "miss_window, miss_threshold and team_factor must be "
+                "positive"
+            )
+        if self.migration_cycles < 0 or self.cooldown_events < 0:
+            raise ValueError(
+                "migration_cycles and cooldown_events must be >= 0"
+            )
+        if not 0.0 <= self.signature_match <= 1.0:
+            raise ValueError("signature_match must be in [0, 1]")
 
 
 @dataclass(frozen=True)
@@ -176,6 +214,15 @@ class CoreConfig:
     base_cpi: float = 0.3
     frequency_ghz: float = 2.5
     covered_stall_fraction: float = 0.60
+
+    def __post_init__(self) -> None:
+        if self.base_cpi <= 0 or self.frequency_ghz <= 0:
+            raise ValueError("base_cpi and frequency_ghz must be "
+                             "positive")
+        if not 0.0 <= self.covered_stall_fraction <= 1.0:
+            raise ValueError(
+                "covered_stall_fraction must be in [0, 1]"
+            )
 
 
 @dataclass(frozen=True)

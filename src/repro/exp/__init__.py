@@ -48,11 +48,14 @@ from repro.exp.cache import (
     spec_key,
 )
 from repro.exp.diff import (
+    AuditFigure,
+    AuditReport,
     Cell,
     CellDiff,
     DiffReport,
     MetricDelta,
     Tolerance,
+    audit_diff,
     diff_cells,
     diff_manifests,
     manifest_cells,
@@ -86,6 +89,8 @@ from repro.exp.shard import (
 from repro.exp.spec import MODES, RunSpec, ShardSpec, SweepSpec
 
 __all__ = [
+    "AuditFigure",
+    "AuditReport",
     "BASELINE_SCHEMA",
     "Baseline",
     "BaselineError",
@@ -113,6 +118,7 @@ __all__ = [
     "SimTimeoutError",
     "SweepSpec",
     "Tolerance",
+    "audit_diff",
     "check_baseline",
     "code_fingerprint",
     "diff_cells",

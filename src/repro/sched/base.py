@@ -24,6 +24,12 @@ class Scheduler:
 
     name = "abstract"
 
+    #: Whether this scheduler stamps L1-I blocks with phaseID tags
+    #: (STREX's PIDT).  The invariant oracles use it: a non-tagging
+    #: scheduler must leave every cache tag at zero, a tagging one must
+    #: keep tags inside ``[0, 2**phase_bits)``.
+    uses_phase_tags = False
+
     def __init__(self, engine):
         self.engine = engine
         self._wakeups: List[int] = []

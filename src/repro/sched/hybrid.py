@@ -48,6 +48,11 @@ class HybridScheduler:
         )
         self.decision = self.delegate.name
 
+    @property
+    def uses_phase_tags(self) -> bool:
+        """Phase-ID tagging is a property of the chosen delegate."""
+        return self.delegate.uses_phase_tags
+
     # Delegated engine hooks ------------------------------------------
     def start(self) -> None:
         self.delegate.start()

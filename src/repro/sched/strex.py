@@ -49,6 +49,7 @@ class StrexScheduler(Scheduler):
     """The STREX thread scheduler unit."""
 
     name = "strex"
+    uses_phase_tags = True
 
     def __init__(self, engine, team_size: Optional[int] = None,
                  slice_events: Optional[int] = None):

@@ -28,6 +28,7 @@ from repro.prefetch.base import InstructionPrefetcher, NoPrefetcher
 from repro.sim.results import RunResult
 from repro.sim.thread import TxnThread
 from repro.trace.trace import TransactionTrace
+from repro.verify.oracles import make_checker
 
 
 class SimulationEngine:
@@ -90,6 +91,9 @@ class SimulationEngine:
         # Set by STREX's victim callback during run_events.
         self.switch_requested = False
         self.scheduler = scheduler_factory(self)
+        # REPRO_SIM_CHECK=1 arms the invariant oracles; like the
+        # kernel choice, the decision is latched at construction.
+        self.checker = make_checker(self)
 
     # ------------------------------------------------------------------
     # Event replay
@@ -767,6 +771,7 @@ class SimulationEngine:
         ]
         heapq.heapify(heap)
         self._in_heap = {core for _, core in heap}
+        checker = self.checker
 
         while self.finished_threads < len(self.threads):
             if not heap:
@@ -778,6 +783,8 @@ class SimulationEngine:
             if not scheduler.has_work(core):
                 continue
             scheduler.run_slice(core)
+            if checker is not None:
+                checker.after_slice(core)
             if scheduler.has_work(core):
                 self._activate(heap, core)
             # Schedulers may have handed work to other (parked) cores.
@@ -798,7 +805,7 @@ class SimulationEngine:
         ]
         busy_cores = [t for t in self.core_time if t > 0]
         cycles = max(busy_cores) if busy_cores else 0
-        return RunResult(
+        result = RunResult(
             workload=workload_name,
             scheduler=self.scheduler.name,
             num_cores=self.config.num_cores,
@@ -823,3 +830,6 @@ class SimulationEngine:
                 ),
             },
         )
+        if self.checker is not None:
+            self.checker.finalize(result)
+        return result

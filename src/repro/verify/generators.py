@@ -1,0 +1,398 @@
+"""Seeded random generation of simulation cases for the fuzz harness.
+
+A :class:`FuzzCase` is a fully self-contained simulation input: a
+``SystemConfig`` dict plus scheduler/prefetcher/team-size and either a
+registered workload name or a synthetic trace recipe.  Cases
+round-trip through JSON (the replay corpus under ``tests/corpus/``),
+so any failure the harness finds is a one-file deterministic repro.
+
+:class:`CaseGenerator` samples the *hostile* corner of the space on
+purpose -- the geometries no hand-written grid covers but the paper's
+sensitivity analysis says matter: 1 core, ``team_size=1``, non-power-
+of-two set counts and associativities, tiny L1-Is (down to one set),
+zero-latency levels, every replacement policy, and degenerate
+synthetic traces (single event, single block, no data accesses).
+Everything is derived from one integer seed via :class:`random.Random`
+(never the process hash seed), so a printed seed is a full repro.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.config import BLOCK_SIZE, SCALES, SystemConfig
+from repro.sim.api import PREFETCHERS, SCHEDULERS
+from repro.trace.trace import TransactionTrace
+from repro.workloads import WORKLOADS, make_workload
+
+#: Pseudo-workload name selecting the synthetic trace recipe.
+SYNTHETIC = "synthetic"
+
+#: Corpus file schema version (bump on incompatible FuzzCase changes).
+CASE_SCHEMA = 1
+
+#: Replacement policies the generator samples (all registered ones).
+POLICIES = ("lru", "fifo", "random", "lip", "bip", "dip", "srrip",
+            "brrip")
+
+#: Hostile L1 geometries: (sets, assoc) including non-powers-of-two
+#: and the single-set degenerate.
+_L1_SHAPES = ((1, 2), (1, 4), (2, 2), (3, 2), (3, 4), (4, 1), (4, 4),
+              (5, 3), (7, 2), (8, 4), (12, 2), (16, 4))
+
+#: L2 slice geometries (always at least as big as the largest L1).
+_L2_SHAPES = ((8, 4), (16, 4), (16, 8), (24, 4), (32, 8), (64, 8))
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One reproducible simulation case.
+
+    Attributes:
+        name: stable label (also the corpus filename stem).
+        config: ``SystemConfig.to_dict()`` form of the system.
+        scheduler: registered scheduler name.
+        prefetcher: registered prefetcher name.
+        team_size: optional STREX/hybrid team-size override.
+        workload: registered workload name, or :data:`SYNTHETIC`.
+        transactions: traces to generate.
+        seed: workload / synthetic-trace generation seed.
+        events: max events per synthetic trace (synthetic only).
+        blocks: instruction-block universe size (synthetic only).
+        data_blocks: data-block universe size (synthetic only).
+        note: free-form provenance (generator seed, shrink history).
+    """
+
+    name: str
+    config: dict
+    scheduler: str = "base"
+    prefetcher: str = "none"
+    team_size: Optional[int] = None
+    workload: str = SYNTHETIC
+    transactions: int = 2
+    seed: int = 1013
+    events: int = 24
+    blocks: int = 16
+    data_blocks: int = 16
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if self.scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r}; choose from "
+                f"{sorted(SCHEDULERS)}")
+        if self.prefetcher not in PREFETCHERS:
+            raise ValueError(
+                f"unknown prefetcher {self.prefetcher!r}; choose from "
+                f"{sorted(PREFETCHERS)}")
+        if self.workload != SYNTHETIC and self.workload not in WORKLOADS:
+            raise ValueError(
+                f"unknown workload {self.workload!r}; choose from "
+                f"{sorted(WORKLOADS)} or {SYNTHETIC!r}")
+        if self.team_size is not None and \
+                self.scheduler not in ("strex", "hybrid"):
+            raise ValueError(
+                "team_size only applies to strex/hybrid cases")
+        if self.transactions <= 0:
+            raise ValueError("transactions must be positive")
+        if self.events <= 0 or self.blocks <= 0 or self.data_blocks <= 0:
+            raise ValueError(
+                "synthetic trace dimensions must be positive")
+        if not isinstance(self.config, dict):
+            raise ValueError("config must be a SystemConfig dict")
+
+    # -- construction ---------------------------------------------------
+    def build_config(self) -> SystemConfig:
+        """The case's :class:`SystemConfig` (validates the dict)."""
+        return SystemConfig.from_dict(self.config)
+
+    def build_traces(self) -> List[TransactionTrace]:
+        """Generate the case's traces (deterministic in ``seed``)."""
+        if self.workload == SYNTHETIC:
+            return synthetic_traces(
+                self.transactions, self.events, self.blocks,
+                self.data_blocks, self.seed)
+        config = self.build_config()
+        workload = make_workload(self.workload, config.l1i_blocks,
+                                 seed=self.seed)
+        return workload.generate_mix(self.transactions, seed=self.seed)
+
+    def describe(self) -> str:
+        """One-line human label (mirrors ``RunSpec.describe``)."""
+        cores = self.config.get("num_cores", "?")
+        team = f" team={self.team_size}" if self.team_size is not None \
+            else ""
+        prefetch = f"+{self.prefetcher}" if self.prefetcher != "none" \
+            else ""
+        return (f"{self.name}: {self.workload} x{self.transactions} "
+                f"{self.scheduler}{prefetch} cores={cores}{team} "
+                f"seed={self.seed}")
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable form (the corpus file payload)."""
+        data = dataclasses.asdict(self)
+        data["schema"] = CASE_SCHEMA
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FuzzCase":
+        """Rebuild a case from :meth:`to_dict` output."""
+        data = dict(data)
+        schema = data.pop("schema", CASE_SCHEMA)
+        if schema != CASE_SCHEMA:
+            raise ValueError(
+                f"unsupported fuzz-case schema {schema!r} "
+                f"(this build reads {CASE_SCHEMA})")
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown FuzzCase keys: {sorted(unknown)}")
+        return cls(**data)
+
+    def replace(self, **changes: object) -> "FuzzCase":
+        """A copy with fields replaced (shrinker helper)."""
+        return dataclasses.replace(self, **changes)
+
+
+def synthetic_traces(transactions: int, events: int, blocks: int,
+                     data_blocks: int, seed: int
+                     ) -> List[TransactionTrace]:
+    """Degenerate-friendly synthetic traces.
+
+    Each trace draws 1..``events`` events over a ``blocks``-wide
+    instruction universe; ~40% of events carry a data access (~30% of
+    those are stores).  Tiny universes produce the pathological shapes
+    the real workload generators never emit: a single hot block, a
+    trace of one event, zero data accesses.
+    """
+    rng = random.Random(seed * 2654435761 % (2 ** 31) + 17)
+    traces = []
+    for txn_id in range(transactions):
+        n = rng.randint(1, events)
+        iblocks = [rng.randrange(blocks) for _ in range(n)]
+        ilens = [rng.randint(1, 8) for _ in range(n)]
+        dblocks = [
+            rng.randrange(data_blocks) if rng.random() < 0.4 else -1
+            for _ in range(n)
+        ]
+        dwrites = [
+            1 if dblocks[i] >= 0 and rng.random() < 0.3 else 0
+            for i in range(n)
+        ]
+        traces.append(TransactionTrace(
+            txn_id, f"syn{txn_id % 3}", iblocks, ilens, dblocks,
+            dwrites))
+    return traces
+
+
+@dataclass(frozen=True)
+class CasePools:
+    """The sampling pools a :class:`CaseGenerator` draws from.
+
+    The defaults cover the full hostile space; ``from_grid_args``
+    narrows them to whatever a ``repro fuzz`` invocation pinned via
+    the shared sweep-grid flags (an unset flag keeps the full pool).
+    """
+
+    workloads: Tuple[str, ...] = tuple(sorted(WORKLOADS)) + (SYNTHETIC,)
+    schedulers: Tuple[str, ...] = tuple(sorted(SCHEDULERS))
+    prefetchers: Tuple[str, ...] = tuple(sorted(PREFETCHERS))
+    cores: Tuple[int, ...] = (1, 2, 3, 4, 5, 8)
+    team_sizes: Tuple[Optional[int], ...] = (None, None, 1, 2, 3)
+    seeds: Tuple[int, ...] = ()
+    scales: Tuple[str, ...] = ()
+    max_transactions: int = 5
+    strex_overrides: Optional[dict] = None
+    cache_overrides: Optional[dict] = None
+
+    def __post_init__(self) -> None:
+        for pool, registry in (("workloads", set(WORKLOADS)
+                                | {SYNTHETIC}),
+                               ("schedulers", set(SCHEDULERS)),
+                               ("prefetchers", set(PREFETCHERS)),
+                               ("scales", set(SCALES))):
+            unknown = set(getattr(self, pool)) - registry
+            if unknown:
+                raise ValueError(
+                    f"unknown {pool}: {sorted(unknown)}")
+        if not self.workloads or not self.schedulers \
+                or not self.prefetchers or not self.cores:
+            raise ValueError("sampling pools must be non-empty")
+        if any(c <= 0 for c in self.cores):
+            raise ValueError("cores must be positive")
+        if self.max_transactions <= 0:
+            raise ValueError("max_transactions must be positive")
+
+    @classmethod
+    def from_grid_args(cls, args) -> "CasePools":
+        """Pools from parsed shared sweep-grid flags.
+
+        ``repro fuzz`` builds its parser with the same
+        ``_add_grid_arguments`` factoring as ``repro sweep``/``shard``
+        but defaults every axis to ``None`` -- meaning "sample the
+        full hostile pool" rather than the sweep's fixed grid.
+        """
+        kwargs = {}
+        if getattr(args, "workloads", None):
+            kwargs["workloads"] = tuple(args.workloads)
+        if getattr(args, "schedulers", None):
+            kwargs["schedulers"] = tuple(args.schedulers)
+        if getattr(args, "prefetchers", None):
+            kwargs["prefetchers"] = tuple(args.prefetchers)
+        if getattr(args, "cores", None):
+            kwargs["cores"] = tuple(args.cores)
+        if getattr(args, "team_sizes", None):
+            kwargs["team_sizes"] = tuple(args.team_sizes)
+        if getattr(args, "seeds", None):
+            kwargs["seeds"] = tuple(args.seeds)
+        if getattr(args, "scales", None):
+            kwargs["scales"] = tuple(args.scales)
+        if getattr(args, "transactions", None):
+            kwargs["max_transactions"] = args.transactions
+        if getattr(args, "strex_overrides", None):
+            kwargs["strex_overrides"] = args.strex_overrides
+        if getattr(args, "cache_overrides", None):
+            kwargs["cache_overrides"] = args.cache_overrides
+        return cls(**kwargs)
+
+
+class CaseGenerator:
+    """Seeded stream of hostile :class:`FuzzCase` instances."""
+
+    def __init__(self, seed: int,
+                 pools: Optional[CasePools] = None) -> None:
+        self.seed = seed
+        self.pools = pools or CasePools()
+
+    def cases(self, count: int) -> Iterator[FuzzCase]:
+        """Yield ``count`` cases (deterministic in the seed)."""
+        for index in range(count):
+            yield self.case(index)
+
+    def case(self, index: int) -> FuzzCase:
+        """The ``index``-th case of this generator's stream.
+
+        One private RNG per case keeps the stream stable: adding a
+        sampling step to case 3 must not change case 4.  The RNG is
+        seeded with a *string* (hashed via SHA-512 inside
+        ``Random.seed``), never a tuple -- tuple seeding falls back to
+        ``hash()``, which ``PYTHONHASHSEED`` randomizes per process.
+        """
+        rng = random.Random(f"repro.fuzz/{self.seed}/{index}")
+        pools = self.pools
+        scheduler = rng.choice(pools.schedulers)
+        # Prefetchers bias toward "none": the specialized kernels only
+        # engage without one, and that is where the bugs would live.
+        prefetcher = rng.choice(pools.prefetchers) \
+            if rng.random() < 0.3 else "none"
+        if prefetcher not in pools.prefetchers:
+            prefetcher = pools.prefetchers[0]
+        team_size = rng.choice(pools.team_sizes) \
+            if scheduler in ("strex", "hybrid") else None
+        workload = rng.choice(pools.workloads)
+        transactions = rng.randint(1, pools.max_transactions)
+        seed = rng.choice(pools.seeds) if pools.seeds \
+            else rng.randrange(1, 2 ** 16)
+        config = self._sample_config(rng)
+        blocks_pool = max(2, config["l1i"]["size_bytes"] // BLOCK_SIZE)
+        return FuzzCase(
+            name=f"fuzz-{self.seed}-{index:03d}",
+            config=config,
+            scheduler=scheduler,
+            prefetcher=prefetcher,
+            team_size=team_size,
+            workload=workload,
+            transactions=transactions,
+            seed=seed,
+            events=rng.choice((1, 2, 8, 24, 48)),
+            blocks=rng.randint(1, 4 * blocks_pool),
+            data_blocks=rng.choice((1, 4, 32, 256)),
+            note=f"generator seed={self.seed} index={index}",
+        )
+
+    def _sample_config(self, rng: random.Random) -> dict:
+        pools = self.pools
+        cores = rng.choice(pools.cores)
+        if pools.scales and rng.random() < 0.5:
+            config = SCALES[rng.choice(pools.scales)](cores)
+            data = config.to_dict()
+        else:
+            data = self._hostile_config(rng, cores)
+        data["seed"] = rng.randrange(1, 2 ** 16)
+        for overrides, section in ((pools.strex_overrides, "strex"),
+                                   (pools.cache_overrides, "l1i")):
+            if overrides:
+                for fld, values in sorted(overrides.items()):
+                    choices = values if isinstance(values, list) \
+                        else [values]
+                    data[section][fld] = rng.choice(choices)
+        # Validate eagerly so generator bugs surface as generator
+        # errors, not downstream simulation crashes.
+        SystemConfig.from_dict(data)
+        return data
+
+    def _hostile_config(self, rng: random.Random, cores: int) -> dict:
+        def cache(shapes, hit_choices, big_enough=0):
+            sets, assoc = rng.choice(shapes)
+            while sets * assoc < big_enough:
+                sets, assoc = rng.choice(shapes)
+            return {
+                "size_bytes": sets * assoc * BLOCK_SIZE,
+                "assoc": assoc,
+                "block_bytes": BLOCK_SIZE,
+                "hit_latency": rng.choice(hit_choices),
+                "replacement": rng.choice(POLICIES),
+            }
+
+        l1i = cache(_L1_SHAPES, (0, 1, 3))
+        return {
+            "num_cores": cores,
+            "core": {
+                "base_cpi": rng.choice((0.3, 0.5, 1.0)),
+                "frequency_ghz": 2.5,
+                "covered_stall_fraction": rng.choice((0.0, 0.6, 1.0)),
+            },
+            "l1i": l1i,
+            "l1d": cache(_L1_SHAPES, (0, 1, 3)),
+            # The L2 must at least fit one L1-I (the STREX model
+            # assumes inclusion-ish sizing, never enforces it).
+            "l2_slice": cache(
+                _L2_SHAPES, (0, 4, 16),
+                big_enough=l1i["size_bytes"] // BLOCK_SIZE),
+            "memory": {
+                "base_latency": rng.choice((0, 5, 105)),
+                "row_hit_latency": rng.choice((0, 3, 55)),
+                "num_channels": rng.choice((1, 2)),
+                "num_banks": rng.choice((1, 8)),
+                "row_bytes": 8192,
+                "open_page": rng.random() < 0.8,
+            },
+            "noc": {
+                "hop_latency": rng.choice((0, 1, 2)),
+                "router_latency": rng.choice((0, 1)),
+            },
+            "strex": {
+                "team_size": rng.choice((1, 2, 10)),
+                "window": rng.choice((1, 2, 30)),
+                "phase_bits": rng.choice((1, 2, 4, 8)),
+                "context_switch_cycles": rng.choice((0, 17, 120)),
+                "min_progress_events": rng.choice((None, 0, 4)),
+            },
+            "slicc": {
+                "miss_window": rng.choice((1, 4, 16)),
+                "miss_threshold": rng.choice((1, 2, 4)),
+                "migration_cycles": rng.choice((0, 50)),
+                "signature_match": rng.choice((0.0, 0.5, 1.0)),
+                "team_factor": rng.choice((1, 2)),
+                "cooldown_events": rng.choice((0, 4, 24)),
+            },
+            "hybrid": {
+                "profile_fraction": 0.002,
+                "slack_units": rng.choice((0, 1)),
+            },
+        }
