@@ -57,6 +57,8 @@ Examples::
     python -m repro perf --scale tiny
     python -m repro perf --repeats 7 --out BENCH_sim.json
     python -m repro perf --check prior/BENCH_sim.json --max-slowdown 0.15
+    python -m repro perf --history BENCH_history.jsonl --min-speedup 1.5
+    python -m repro perf --profile 25
     python -m repro diff old/.cache/manifest.jsonl new/.cache
     python -m repro diff a/manifest.jsonl b/manifest.jsonl \\
         --rel-tol 0.01 --markdown
@@ -795,15 +797,41 @@ def build_perf_parser() -> argparse.ArgumentParser:
                         metavar="F",
                         help="tolerated fractional events/s drop for "
                              "--check (default 0.15)")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        metavar="F",
+                        help="exit nonzero unless the batch replay "
+                             "layer delivers at least this x-factor "
+                             "over the no-batch fast path "
+                             "(batch_speedup in the report)")
+    parser.add_argument("--history", type=Path, default=None,
+                        metavar="PATH",
+                        help="also append the report as one JSON line "
+                             "to this .jsonl ledger (e.g. "
+                             "BENCH_history.jsonl)")
+    parser.add_argument("--profile", type=int, default=None,
+                        metavar="N",
+                        help="instead of benchmarking, cProfile one "
+                             "fast-path run and print the top N "
+                             "functions by total time")
     return parser
 
 
 def run_perf(argv: List[str]) -> Tuple[str, int]:
     """Execute the ``perf`` subcommand; returns (report, exit code)."""
-    from repro.perf import check_regression, run_bench, write_bench
+    from repro.perf import (append_history, check_regression,
+                            profile_kernel, run_bench, write_bench)
     from repro.perf.bench import format_report
 
     args = build_perf_parser().parse_args(argv)
+    if args.profile is not None:
+        return profile_kernel(
+            scale=args.scale,
+            workload=args.workload,
+            transactions=args.transactions,
+            seed=args.seed,
+            cores=args.cores,
+            top=args.profile,
+        ), 0
     report = run_bench(
         scale=args.scale,
         workload=args.workload,
@@ -814,15 +842,28 @@ def run_perf(argv: List[str]) -> Tuple[str, int]:
     )
     write_bench(report, args.out)
     text = format_report(report) + f"\nwrote {args.out}"
+    if args.history is not None:
+        append_history(report, args.history)
+        text += f"\nappended to {args.history}"
+    code = 0
+    if args.min_speedup is not None:
+        actual = float(report["batch_speedup"])
+        if actual < args.min_speedup:
+            text += (f"\nbatch layer below floor: x{actual:.2f} < "
+                     f"x{args.min_speedup:.2f}")
+            code = 1
+        else:
+            text += (f"\nbatch layer above floor: x{actual:.2f} >= "
+                     f"x{args.min_speedup:.2f}")
     if args.check is None:
-        return text, 0
+        return text, code
     if not args.check.exists():
         return (text + f"\nno prior report at {args.check}; "
-                f"nothing to gate against", 0)
+                f"nothing to gate against", code)
     prior = json.loads(args.check.read_text())
     ok, message = check_regression(report, prior,
                                    max_slowdown=args.max_slowdown)
-    return text + "\n" + message, 0 if ok else 1
+    return text + "\n" + message, code if ok else 1
 
 
 def main(argv=None) -> int:

@@ -129,11 +129,14 @@ class OverlapAnalysis:
             for core in range(num_cores):
                 budgets[core] += self.interval_instructions
                 trace = traces[core]
+                # Plain-int list views regardless of the trace's column
+                # backing (loaded traces keep NumPy arrays).
+                iblocks, ilens = trace.event_columns()[:2]
                 pos = positions[core]
                 cache = caches[core]
                 while pos < len(trace) and budgets[core] > 0:
-                    block = trace.iblocks[pos]
-                    budgets[core] -= trace.ilens[pos]
+                    block = iblocks[pos]
+                    budgets[core] -= ilens[pos]
                     cache.access(block)
                     touched[core].add(block)
                     pos += 1

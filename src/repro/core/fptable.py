@@ -68,7 +68,9 @@ def measure_footprint_blocks(trace: TransactionTrace,
     """
     tags: dict = {}
     counter = 0
-    for block in trace.iblocks:
+    # event_columns() yields plain-int lists even for array-backed
+    # (loaded) traces.
+    for block in trace.event_columns()[0]:
         if tags.get(block) != SAMPLE_PHASE:
             counter += 1
             tags[block] = SAMPLE_PHASE

@@ -6,6 +6,18 @@ traces, verifies the two paths still agree bit-for-bit, and writes the
 numbers to ``BENCH_sim.json`` so regressions show up in review.
 """
 
-from repro.perf.bench import check_regression, run_bench, write_bench
+from repro.perf.bench import (
+    append_history,
+    check_regression,
+    profile_kernel,
+    run_bench,
+    write_bench,
+)
 
-__all__ = ["check_regression", "run_bench", "write_bench"]
+__all__ = [
+    "append_history",
+    "check_regression",
+    "profile_kernel",
+    "run_bench",
+    "write_bench",
+]

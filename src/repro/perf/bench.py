@@ -8,8 +8,18 @@ kept -- the most reproducible statistic on a shared machine.  Before
 any timing is trusted, the two paths' full :class:`RunResult` dicts are
 compared; a mismatch raises rather than recording a meaningless number.
 
+Three series are timed: ``fast`` (the full kernel including the batch
+replay layer of :mod:`repro.sim.batch` -- its min reflects warm-slice
+replay, the steady state of repeated identical runs), ``fast_nobatch``
+(``REPRO_SIM_NOBATCH=1``: the interpreting kernel alone), and
+``reference``.  After timing, a replayed run is re-checked against the
+reference result byte for byte.
+
 The report is written as JSON (``BENCH_sim.json`` at the repo root by
-convention) so CI can archive it and reviews can diff it.
+convention) so CI can archive it and reviews can diff it;
+:func:`append_history` keeps a one-line-per-run ``BENCH_history.jsonl``
+ledger and :func:`profile_kernel` prints the kernel's cProfile hot
+spots.
 """
 
 from __future__ import annotations
@@ -22,7 +32,7 @@ from pathlib import Path
 from typing import Dict, Iterable, Optional, Tuple
 
 from repro.config import SCALES
-from repro.fastpath import ENV_VAR
+from repro.fastpath import ENV_VAR, NOBATCH_ENV
 from repro.sim.api import SCHEDULERS, simulate
 from repro.workloads import WORKLOADS
 
@@ -35,6 +45,13 @@ def _set_reference(on: bool) -> None:
         os.environ[ENV_VAR] = "1"
     else:
         os.environ.pop(ENV_VAR, None)
+
+
+def _set_nobatch(on: bool) -> None:
+    if on:
+        os.environ[NOBATCH_ENV] = "1"
+    else:
+        os.environ.pop(NOBATCH_ENV, None)
 
 
 def _time_run(config, traces, scheduler: str, workload: str) -> float:
@@ -76,8 +93,12 @@ def run_bench(
     traces = suite.generate_mix(transactions, seed=seed)
     events = sum(len(trace) for trace in traces)
     saved = os.environ.get(ENV_VAR)
+    saved_nobatch = os.environ.get(NOBATCH_ENV)
+    from repro.sim import batch as batch_replay
+    batch_replay.reset_registry()
     try:
         # Warm both paths and check parity while doing so.
+        _set_nobatch(False)
         _set_reference(False)
         fast_result = simulate(config, traces, "base", workload)
         _set_reference(True)
@@ -87,14 +108,32 @@ def run_bench(
             raise AssertionError(
                 "fast and reference paths disagree; fix parity before "
                 "benchmarking (run the tests in tests/test_parity.py)")
+        # Timed repeats.  The batch layer sees the fast runs as
+        # identical re-executions: the first timed repeat records, the
+        # rest replay -- keeping the min therefore reports the steady
+        # (replayed) throughput, which is what sweep reruns get.  The
+        # nobatch series times the same kernel with the layer disabled
+        # (the pre-batch fast path).
         fast_wall = []
+        nobatch_wall = []
         ref_wall = []
         for _ in range(max(1, repeats)):
             _set_reference(False)
             fast_wall.append(_time_run(config, traces, "base", workload))
+            _set_nobatch(True)
+            nobatch_wall.append(
+                _time_run(config, traces, "base", workload))
+            _set_nobatch(False)
             _set_reference(True)
             ref_wall.append(_time_run(config, traces, "base", workload))
+        # A replayed run must still be byte-identical to the reference
+        # (the timed repeats discarded their results).
         _set_reference(False)
+        replay_result = simulate(config, traces, "base", workload)
+        if replay_result.to_dict() != ref_result.to_dict():
+            raise AssertionError(
+                "a batch-replayed run diverged from the reference; "
+                "fix repro.sim.batch before benchmarking")
         per_scheduler = {
             name: round(_time_run(config, traces, name, workload), 4)
             for name in schedulers
@@ -104,7 +143,13 @@ def run_bench(
             os.environ.pop(ENV_VAR, None)
         else:
             os.environ[ENV_VAR] = saved
+        if saved_nobatch is None:
+            os.environ.pop(NOBATCH_ENV, None)
+        else:
+            os.environ[NOBATCH_ENV] = saved_nobatch
+    registry = batch_replay.registry()
     fast_s = min(fast_wall)
+    nobatch_s = min(nobatch_wall)
     ref_s = min(ref_wall)
     return {
         "bench": "sim_kernel",
@@ -120,11 +165,22 @@ def run_bench(
             "wall_s": round(fast_s, 4),
             "events_per_s": round(events / fast_s),
         },
+        "fast_nobatch": {
+            "wall_s": round(nobatch_s, 4),
+            "events_per_s": round(events / nobatch_s),
+        },
         "reference": {
             "wall_s": round(ref_s, 4),
             "events_per_s": round(events / ref_s),
         },
         "speedup": round(ref_s / fast_s, 3),
+        "batch_speedup": round(nobatch_s / fast_s, 3),
+        "batch": {
+            "recordings": registry.recordings,
+            "replays": registry.replays,
+            "fallbacks": registry.fallbacks,
+            "aborts": registry.aborts,
+        },
         "schedulers_wall_s": per_scheduler,
         "python": platform.python_version(),
         "timestamp": time.time(),
@@ -189,6 +245,54 @@ def write_bench(report: Dict[str, object], out: Path) -> None:
         json.dumps(report, indent=2, sort_keys=True) + "\n")
 
 
+def append_history(report: Dict[str, object], path: Path) -> None:
+    """Append the report as one JSON line to a ``.jsonl`` ledger.
+
+    ``BENCH_sim.json`` is overwritten per run; the history file keeps
+    every run so throughput can be plotted over the repo's life (CI
+    uploads it as an artifact).  One compact line per run, newest
+    last.
+    """
+    path = Path(path)
+    with path.open("a") as handle:
+        handle.write(json.dumps(report, sort_keys=True,
+                                separators=(",", ":")) + "\n")
+
+
+def profile_kernel(
+    scale: str = "default",
+    workload: str = "tpcc",
+    transactions: int = 40,
+    seed: int = 1013,
+    cores: Optional[int] = None,
+    top: int = 25,
+) -> str:
+    """cProfile one fast-path run; returns the top-``top`` report.
+
+    The registry is reset first so the profiled run is a *first*
+    sighting: the interpreting kernel (scalar loops plus hit-run
+    fast-forwarding) is what's measured, not a memoized replay of it.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    config = SCALES[scale]() if cores is None \
+        else SCALES[scale](num_cores=cores)
+    suite = WORKLOADS[workload](config.l1i_blocks, seed)
+    traces = suite.generate_mix(transactions, seed=seed)
+    from repro.sim import batch as batch_replay
+    batch_replay.reset_registry()
+    profiler = cProfile.Profile()
+    profiler.enable()
+    simulate(config, traces, "base", workload)
+    profiler.disable()
+    out = io.StringIO()
+    stats = pstats.Stats(profiler, stream=out)
+    stats.strip_dirs().sort_stats("tottime").print_stats(top)
+    return out.getvalue().rstrip()
+
+
 def format_report(report: Dict[str, object]) -> str:
     """Human-readable one-screen summary of a bench report."""
     fast = report["fast"]
@@ -203,8 +307,18 @@ def format_report(report: Dict[str, object]) -> str:
         f"({ref['events_per_s']:,} events/s)",
         f"  speedup:   x{report['speedup']:.2f} "
         f"(parity {'OK' if report['parity'] else 'FAILED'})",
-        "  scheduler wall times (fast path):",
     ]
+    nobatch = report.get("fast_nobatch")
+    if nobatch is not None:
+        batch = report.get("batch", {})
+        lines.append(
+            f"  no-batch:  {nobatch['wall_s']:.3f}s "
+            f"({nobatch['events_per_s']:,} events/s; batch layer "
+            f"x{report['batch_speedup']:.2f}, "
+            f"{batch.get('recordings', 0)} recorded / "
+            f"{batch.get('replays', 0)} replayed / "
+            f"{batch.get('fallbacks', 0)} fallbacks)")
+    lines.append("  scheduler wall times (fast path):")
     for name, wall in report["schedulers_wall_s"].items():
         lines.append(f"    {name:7s} {wall:.3f}s")
     return "\n".join(lines)

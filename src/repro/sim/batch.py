@@ -1,0 +1,481 @@
+"""Batch replay layer: run fast-forward support and slice memoization.
+
+Stratified execution makes simulations *self-similar twice over*: within
+a run, slices are long strings of L1-I hits replaying phases a
+predecessor already warmed, and across runs, the perf harness / sweep
+machinery executes byte-identical simulations back to back.  This
+module exploits the second kind; the first is handled in-loop by
+:meth:`SimulationEngine._run_events_tight_age_ff` using the trace run
+tables (:meth:`repro.trace.trace.TransactionTrace.run_tables`) and the
+per-core fast-forward memo that both key residency on
+:attr:`repro.cache.cache.Cache.version`.
+
+Warm-slice memoization records, once, the *observable delta* of every
+``run_events`` slice of a simulation -- cycle/instruction advance,
+cache snapshots and structural L2 fill lists, directory/DRAM/NoC state
+-- keyed on the simulation's identity (canonical config, scheduler
+shape, trace content digests).  Later constructions of the same
+simulation replay the deltas instead of interpreting events, after
+validating per slice that the engine is exactly where the recording
+was (same core/thread/cursor/clock and the same cache mutation
+versions).  Any out-of-band mutation -- a flush, an invalidate, a
+direct cache access between slices -- bumps a version and the replay
+falls back, permanently and safely, to the scalar loops (state is
+fully materialized after every applied slice).
+
+The recordable profile is deliberately narrow (DESIGN.md, decision 16):
+
+* the age kernel (fast path, LRU/FIFO on L1-I, L1-D *and* L2 -- the
+  policies that never consume RNG, so skipping replayed fills cannot
+  desynchronize stochastic policies);
+* the deterministic run-to-completion schedulers (baseline, SMT);
+* no prefetcher, no armed invariant oracles (``REPRO_SIM_CHECK=1``),
+  no ``REPRO_SIM_NOBATCH=1``;
+* per call: tag 0, no switch monitoring, no miss log, no victim
+  callbacks anywhere.
+
+Everything else falls back to the scalar loops, which remain the
+semantics of record: a recording is made *through*
+``_run_events_fast`` (hooking the hierarchy's rebindable L2 accessor),
+so the recorded deltas are the scalar kernel's own side effects.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+from typing import List, Optional
+
+from repro.cache.hierarchy import CoherenceState
+from repro.fastpath import nobatch_mode
+from repro.sched.base import BaselineScheduler
+from repro.sched.smt import SmtBaselineScheduler
+
+#: Retained recordings (LRU).  Each holds full per-slice snapshots --
+#: tens of MB at default perf-bench scale -- so the bound is small.
+REGISTRY_CAPACITY = 2
+
+#: Remembered first-sighting identities (recording starts on the
+#: second sighting, so one-shot simulations never pay for capture).
+SEEN_CAPACITY = 64
+
+
+class ReplayRegistry:
+    """Per-process store of recorded simulations.
+
+    Lifecycle per identity: first sighting is only remembered; the
+    second records; the third and later replay.  ``recordings`` /
+    ``replays`` / ``fallbacks`` / ``aborts`` are cumulative counters
+    (the differential tests assert on them).
+    """
+
+    def __init__(self, capacity: int = REGISTRY_CAPACITY):
+        self.capacity = capacity
+        self._seen: "OrderedDict[tuple, int]" = OrderedDict()
+        self._logs: "OrderedDict[tuple, list]" = OrderedDict()
+        self.recordings = 0
+        self.replays = 0
+        self.fallbacks = 0
+        self.aborts = 0
+
+    def mode_for(self, key: tuple):
+        """Classify a sighting: ``("replay", log)``, ``("record",
+        None)`` or ``("off", None)``; bumps the sighting count."""
+        log = self._logs.get(key)
+        if log is not None:
+            self._logs.move_to_end(key)
+            return "replay", log
+        count = self._seen.get(key, 0)
+        self._seen[key] = count + 1
+        self._seen.move_to_end(key)
+        while len(self._seen) > SEEN_CAPACITY:
+            self._seen.popitem(last=False)
+        return ("record", None) if count >= 1 else ("off", None)
+
+    def store(self, key: tuple, log: list) -> None:
+        """Retain a completed recording (evicting LRU past capacity)."""
+        self._logs[key] = log
+        self._logs.move_to_end(key)
+        while len(self._logs) > self.capacity:
+            self._logs.popitem(last=False)
+        self.recordings += 1
+
+    def clear(self) -> None:
+        """Drop all state (tests)."""
+        self._seen.clear()
+        self._logs.clear()
+        self.recordings = 0
+        self.replays = 0
+        self.fallbacks = 0
+        self.aborts = 0
+
+
+_REGISTRY = ReplayRegistry()
+
+
+def registry() -> ReplayRegistry:
+    """The process-wide registry."""
+    return _REGISTRY
+
+
+def reset_registry() -> None:
+    """Drop all recordings and counters (test isolation)."""
+    _REGISTRY.clear()
+
+
+def _identity(engine) -> Optional[tuple]:
+    """Content identity of a simulation, or None if unclassifiable.
+
+    Canonical config JSON + exact scheduler shape + per-trace content
+    digests: two engines with equal identities execute byte-identical
+    simulations (the schedulers below are deterministic functions of
+    engine state, and the engine itself is deterministic).
+    """
+    sched = engine.scheduler
+    if type(sched) is BaselineScheduler:
+        sched_key = ("base", sched.slice_events)
+    elif type(sched) is SmtBaselineScheduler:
+        sched_key = ("smt", sched.ways, sched.SMT_QUANTUM)
+    else:
+        return None
+    config_key = json.dumps(engine.config.to_dict(), sort_keys=True)
+    trace_key = tuple(
+        thread.trace.content_key() for thread in engine.threads
+    )
+    return (config_key, sched_key, trace_key)
+
+
+def attach(engine) -> None:
+    """Install a recorder or replayer on ``engine._batch`` if eligible."""
+    engine._batch = None
+    if not engine._age_kernel or engine.prefetcher_active:
+        return
+    if engine.checker is not None or nobatch_mode():
+        return
+    hier = engine.hier
+    # _age_kernel already guarantees age-MRU L1-I and L2; the L1-D
+    # must be age-MRU too so no replayed fill ever skips an RNG draw.
+    if hier.l1d[0].policy.insert_mode != "age_mru":
+        return
+    key = _identity(engine)
+    if key is None:
+        return
+    mode, log = _REGISTRY.mode_for(key)
+    if mode == "record":
+        engine._batch = _Recorder(engine, key)
+    elif mode == "replay":
+        engine._batch = _Replayer(engine, log)
+
+
+def _all_caches(hier) -> list:
+    return list(hier.l1i) + list(hier.l1d) + list(hier.l2)
+
+
+def _stats4(cache) -> tuple:
+    st = cache.stats
+    return (st.hits, st.misses, st.evictions, st.invalidations)
+
+
+class _Recorder:
+    """Runs slices on the scalar kernel while capturing their deltas.
+
+    L2 structural changes are captured *in flight* by hooking the
+    hierarchy's rebindable ``_l2_access`` (the same mechanism the fast
+    path itself uses): fills are logged as ordered ``(slice, slot,
+    block)`` placements -- replay re-derives evictions from them --
+    and every touched slot's final age is patched afterwards.  The
+    small caches (the slice's own L1-I, any L1-D whose stats moved)
+    are snapshotted whole after the call.
+    """
+
+    def __init__(self, engine, key: tuple):
+        self.engine = engine
+        self.key = key
+        self.calls: List[tuple] = []
+        self.aborted = False
+        hier = engine.hier
+        self._caches = _all_caches(hier)
+        self._num_slices = len(hier.l2)
+        self._fills: List[tuple] = []
+        self._touched: set = set()
+        self._real_l2_access = hier._l2_access
+        hier._l2_access = self._record_l2_access
+        self._hooked = True
+
+    def _record_l2_access(self, core: int, block: int) -> int:
+        hier = self.engine.hier
+        sid = block % self._num_slices
+        where = hier.l2[sid]._where
+        pre = where.get(block)
+        latency = self._real_l2_access(core, block)
+        if pre is None:
+            slot = where[block]
+            self._fills.append((sid, slot, block))
+            self._touched.add((sid, slot))
+        else:
+            self._touched.add((sid, pre))
+        return latency
+
+    def _restore(self) -> None:
+        if self._hooked:
+            self.engine.hier._l2_access = self._real_l2_access
+            self._hooked = False
+
+    def _abort(self) -> None:
+        self.aborted = True
+        self._restore()
+        _REGISTRY.aborts += 1
+
+    def dispatch(
+        self, core, thread, max_events, tag,
+        stop_on_switch, miss_log, stop_after_misses,
+    ) -> Optional[int]:
+        engine = self.engine
+        caches = self._caches
+        if (
+            tag != 0
+            or stop_on_switch
+            or miss_log is not None
+            or stop_after_misses
+            or any(c.victim_callback is not None for c in caches)
+        ):
+            self._abort()
+            return None
+        hier = engine.hier
+        pre = (
+            core,
+            thread.thread_id,
+            thread.pos,
+            max_events,
+            engine.core_time[core],
+            tuple(c.version for c in caches),
+        )
+        pre_pos = thread.pos
+        pre_core_time = engine.core_time[core]
+        pre_instructions = thread.instructions_done
+        l1d_pre = [_stats4(c) for c in hier.l1d]
+        self._fills = []
+        self._touched = set()
+
+        executed = engine._run_events_fast(
+            core, thread, max_events, tag, False, None, 0)
+
+        l1i = hier.l1i[core]
+        l1i_snap = (
+            dict(l1i._where),
+            l1i._slot_blocks[:],
+            l1i._slot_tags[:],
+            l1i._set_len[:],
+            l1i.policy._ages[:],
+            l1i.policy._tick,
+            l1i.policy._low,
+            _stats4(l1i),
+        )
+        l1d_snaps = []
+        for c, cache in enumerate(hier.l1d):
+            if _stats4(cache) == l1d_pre[c]:
+                continue
+            l1d_snaps.append((
+                c,
+                dict(cache._where),
+                cache._slot_blocks[:],
+                cache._slot_tags[:],
+                cache._set_len[:],
+                cache.policy._ages[:],
+                cache.policy._tick,
+                cache.policy._low,
+                _stats4(cache),
+                set(hier._lost_to_invalidation[c]),
+                hier.coherence_misses[c],
+            ))
+        l2_ages = [
+            (sid, slot, hier.l2[sid].policy._ages[slot])
+            for sid, slot in self._touched
+        ]
+        l2_ticks = [c.policy._tick for c in hier.l2]
+        l2_lows = [c.policy._low for c in hier.l2]
+        l2_stats = [_stats4(c) for c in hier.l2]
+        dblocks = thread.trace.event_columns()[2]
+        touched_d = {
+            dblocks[i]
+            for i in range(pre_pos, thread.pos)
+            if dblocks[i] >= 0
+        }
+        directory = hier._directory
+        dir_patch = []
+        for block in touched_d:
+            entry = directory.get(block)
+            if entry is not None:
+                dir_patch.append(
+                    (block, entry.owner, tuple(entry.sharers)))
+        dram = hier.dram
+        self.calls.append((
+            pre,
+            executed,
+            thread.pos,
+            thread.instructions_done - pre_instructions,
+            engine.core_time[core] - pre_core_time,
+            l1i_snap,
+            l1d_snaps,
+            self._fills,
+            l2_ages,
+            l2_ticks,
+            l2_lows,
+            l2_stats,
+            dir_patch,
+            (dram._open_rows[:], dram.row_hits, dram.row_misses),
+            (hier.noc.messages, hier.noc.total_hops),
+            hier.l2_demand_traffic,
+            tuple(c.version for c in caches),
+        ))
+        return executed
+
+    def finish(self) -> None:
+        """Unhook; retain the recording if the run completed cleanly."""
+        self._restore()
+        engine = self.engine
+        if self.aborted:
+            return
+        if engine.finished_threads != len(engine.threads):
+            return
+        _REGISTRY.store(self.key, self.calls)
+
+
+class _Replayer:
+    """Applies a recording's deltas in place of event interpretation.
+
+    Every slice is validated against the recording's precondition --
+    call shape, core/thread/cursor, core clock, and the mutation
+    versions of all caches -- before any state is touched.  On the
+    first mismatch the replayer detaches (the engine falls back to the
+    scalar loops); because each applied slice materializes *all* state
+    (not just result-visible aggregates), the fallback point is a
+    bona fide simulation state and the remainder computes the same
+    bytes the scalar kernel would have produced from the start.
+    """
+
+    def __init__(self, engine, calls: list):
+        self.engine = engine
+        self.calls = calls
+        self.cursor = 0
+        self.dead = False
+        self._caches = _all_caches(engine.hier)
+
+    def _fallback(self) -> None:
+        self.dead = True
+        _REGISTRY.fallbacks += 1
+
+    def dispatch(
+        self, core, thread, max_events, tag,
+        stop_on_switch, miss_log, stop_after_misses,
+    ) -> Optional[int]:
+        engine = self.engine
+        calls = self.calls
+        cursor = self.cursor
+        if cursor >= len(calls):
+            self._fallback()
+            return None
+        (pre, executed, pos_after, d_instructions, d_cycles,
+         l1i_snap, l1d_snaps, l2_fills, l2_ages, l2_ticks, l2_lows,
+         l2_stats, dir_patch, dram_snap, noc_snap, l2_traffic,
+         versions_post) = calls[cursor]
+        caches = self._caches
+        if (
+            tag != 0
+            or stop_on_switch
+            or miss_log is not None
+            or stop_after_misses
+            or any(c.victim_callback is not None for c in caches)
+            or pre != (
+                core,
+                thread.thread_id,
+                thread.pos,
+                max_events,
+                engine.core_time[core],
+                tuple(c.version for c in caches),
+            )
+        ):
+            self._fallback()
+            return None
+
+        hier = engine.hier
+        l1i = hier.l1i[core]
+        (where, blocks, tags, set_len, ages, tick, low,
+         stats4) = l1i_snap
+        l1i._where.clear()
+        l1i._where.update(where)
+        l1i._slot_blocks[:] = blocks
+        l1i._slot_tags[:] = tags
+        l1i._set_len[:] = set_len
+        pol = l1i.policy
+        pol._ages[:] = ages
+        pol._tick = tick
+        pol._low = low
+        st = l1i.stats
+        st.hits, st.misses, st.evictions, st.invalidations = stats4
+        for (c, where, blocks, tags, set_len, ages, tick, low,
+             stats4, lost, coherence) in l1d_snaps:
+            l1d = hier.l1d[c]
+            l1d._where.clear()
+            l1d._where.update(where)
+            l1d._slot_blocks[:] = blocks
+            l1d._slot_tags[:] = tags
+            l1d._set_len[:] = set_len
+            pol = l1d.policy
+            pol._ages[:] = ages
+            pol._tick = tick
+            pol._low = low
+            st = l1d.stats
+            st.hits, st.misses, st.evictions, st.invalidations = stats4
+            lost_set = hier._lost_to_invalidation[c]
+            lost_set.clear()
+            lost_set.update(lost)
+            hier.coherence_misses[c] = coherence
+        l2 = hier.l2
+        for sid, slot, block in l2_fills:
+            cache = l2[sid]
+            blocks2 = cache._slot_blocks
+            old = blocks2[slot]
+            if old is None:
+                cache._set_len[slot // cache.assoc] += 1
+            else:
+                del cache._where[old]
+            blocks2[slot] = block
+            cache._where[block] = slot
+        for sid, slot, age in l2_ages:
+            l2[sid].policy._ages[slot] = age
+        for sid, cache in enumerate(l2):
+            pol = cache.policy
+            pol._tick = l2_ticks[sid]
+            pol._low = l2_lows[sid]
+            st = cache.stats
+            (st.hits, st.misses, st.evictions,
+             st.invalidations) = l2_stats[sid]
+        directory = hier._directory
+        for block, owner, sharers in dir_patch:
+            entry = directory.get(block)
+            if entry is None:
+                entry = CoherenceState()
+                directory[block] = entry
+            entry.owner = owner
+            entry.sharers = set(sharers)
+        dram = hier.dram
+        open_rows, row_hits, row_misses = dram_snap
+        dram._open_rows[:] = open_rows
+        dram.row_hits = row_hits
+        dram.row_misses = row_misses
+        noc = hier.noc
+        noc.messages, noc.total_hops = noc_snap
+        hier.l2_demand_traffic = l2_traffic
+        for cache, version in zip(caches, versions_post):
+            cache.version = version
+        thread.pos = pos_after
+        thread.instructions_done += d_instructions
+        engine.total_instructions += d_instructions
+        engine.core_time[core] += d_cycles
+        self.cursor = cursor + 1
+        return executed
+
+    def finish(self) -> None:
+        if not self.dead and self.cursor == len(self.calls):
+            _REGISTRY.replays += 1

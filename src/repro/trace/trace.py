@@ -13,20 +13,37 @@ cache block, optionally paired with one data access:
 This is the finest granularity any mechanism in the paper operates at
 (caches, STREX's phaseID tagging, SLICC's signatures and PIF all act on
 64 B blocks), which keeps pure-Python replay tractable (DESIGN.md,
-decision 1).  Events are stored as parallel Python lists -- list indexing
-is considerably faster than NumPy scalar extraction in the simulator's
-inner loop -- with NumPy views available for analysis.
+decision 1).  Events are stored as parallel columns -- plain Python
+lists or NumPy arrays, kept as given without copying.  The simulator's
+inner loops read plain-list views (list indexing is considerably
+faster than NumPy scalar extraction, and builtin ints keep results
+JSON-serializable), normalized lazily via :meth:`TransactionTrace.
+event_columns`; NumPy views stay available for analysis and feed the
+hit-run tables (:meth:`TransactionTrace.run_tables`).
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Tuple
+import hashlib
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+#: Minimum length (in events) of an instruction-only span for the
+#: engine's hit-run fast-forward to consider it.  Shorter spans are
+#: cheaper to replay scalar than to probe for residency.
+RUN_MIN_EVENTS = 4
+
 
 class TransactionTrace:
-    """The full execution trace of one transaction."""
+    """The full execution trace of one transaction.
+
+    Columns may be plain Python lists or NumPy arrays; they are stored
+    as given, without copying.  The simulator's inner loops always go
+    through :meth:`event_columns` / :meth:`packed_events`, which
+    normalize to plain lists exactly once per trace, so NumPy scalar
+    types never leak into replay arithmetic or serialized results.
+    """
 
     __slots__ = (
         "txn_id",
@@ -40,16 +57,19 @@ class TransactionTrace:
         "_packed_events",
         "_set_indices",
         "_ilen_prefix",
+        "_list_columns",
+        "_run_tables",
+        "_content_key",
     )
 
     def __init__(
         self,
         txn_id: int,
         txn_type: str,
-        iblocks: List[int],
-        ilens: List[int],
-        dblocks: List[int],
-        dwrites: List[int],
+        iblocks: Sequence[int],
+        ilens: Sequence[int],
+        dblocks: Sequence[int],
+        dwrites: Sequence[int],
     ):
         lengths = {len(iblocks), len(ilens), len(dblocks), len(dwrites)}
         if len(lengths) != 1:
@@ -60,14 +80,18 @@ class TransactionTrace:
         self.ilens = ilens
         self.dblocks = dblocks
         self.dwrites = dwrites
-        self.total_instructions = sum(ilens)
+        self.total_instructions = int(sum(ilens))
         # Lazily-built derived views, shared by every run of a batch:
         # the distinct-iblock set, packed per-event tuples keyed by
-        # base CPI, and L1-I set indices keyed by set count.
+        # base CPI, L1-I set indices keyed by set count, plain-list
+        # column views, hit-run tables, and the content digest.
         self._unique_iblocks: Optional[frozenset] = None
         self._packed_events: dict = {}
         self._set_indices: dict = {}
         self._ilen_prefix: Optional[list] = None
+        self._list_columns: Optional[tuple] = None
+        self._run_tables: dict = {}
+        self._content_key: Optional[str] = None
 
     def __len__(self) -> int:
         return len(self.iblocks)
@@ -80,7 +104,25 @@ class TransactionTrace:
 
     def events(self) -> Iterator[Tuple[int, int, int, int]]:
         """Iterate over (iblock, ilen, dblock, dwrite) tuples."""
-        return zip(self.iblocks, self.ilens, self.dblocks, self.dwrites)
+        return zip(*self.event_columns())
+
+    def event_columns(self) -> tuple:
+        """``(iblocks, ilens, dblocks, dwrites)`` as plain Python lists.
+
+        Array-backed traces (e.g. from :func:`load_traces`) are
+        normalized once and the lists memoized; list-backed traces are
+        returned as-is with no copy.  Every replay consumer goes
+        through here so arithmetic stays on builtin ints.
+        """
+        cols = self._list_columns
+        if cols is None:
+            cols = tuple(
+                col if type(col) is list else np.asarray(col).tolist()
+                for col in (self.iblocks, self.ilens,
+                            self.dblocks, self.dwrites)
+            )
+            self._list_columns = cols
+        return cols
 
     def unique_iblocks(self) -> frozenset:
         """Distinct instruction blocks touched (the static footprint).
@@ -90,8 +132,30 @@ class TransactionTrace:
         memo is safe.
         """
         if self._unique_iblocks is None:
-            self._unique_iblocks = frozenset(self.iblocks)
+            self._unique_iblocks = frozenset(self.event_columns()[0])
         return self._unique_iblocks
+
+    def content_key(self) -> str:
+        """Stable digest of the trace's identity and event columns.
+
+        Used by the batch replay registry to key recorded simulations
+        on trace *content* rather than object identity, so equal
+        workloads regenerated from the same seed share a recording.
+        Memoized (traces are immutable by convention).
+        """
+        digest = self._content_key
+        if digest is None:
+            h = hashlib.sha1()
+            h.update(
+                f"{self.txn_id}|{self.txn_type}|{len(self)}".encode())
+            for col in (self.iblocks, self.ilens,
+                        self.dblocks, self.dwrites):
+                arr = np.ascontiguousarray(
+                    np.asarray(col, dtype=np.int64))
+                h.update(arr.tobytes())
+            digest = h.hexdigest()
+            self._content_key = digest
+        return digest
 
     def footprint_units(self, blocks_per_unit: int) -> float:
         """Instruction footprint in L1-I size units (Table 3's metric)."""
@@ -110,14 +174,90 @@ class TransactionTrace:
         packed = self._packed_events.get(key)
         if packed is None:
             isets = self.iblock_set_indices(num_sets)
+            iblocks, ilens, dblocks, dwrites = self.event_columns()
             packed = [
                 (iblock, ilen * cpi, ilen, dblock, dwrite, iset)
                 for iblock, ilen, dblock, dwrite, iset in zip(
-                    self.iblocks, self.ilens,
-                    self.dblocks, self.dwrites, isets)
+                    iblocks, ilens, dblocks, dwrites, isets)
             ]
             self._packed_events[key] = packed
         return packed
+
+    def run_tables(self, cpi: float, num_sets: int) -> Optional[tuple]:
+        """Hit-run tables for the engine's batch fast-forward.
+
+        A *run* is a maximal span of instruction-only events (no
+        data-side access, ``dblock < 0``); spans shorter than
+        :data:`RUN_MIN_EVENTS` are ignored.  Returns ``None`` when the
+        trace has no eligible runs, else ``(next_ff, runs)``:
+
+        * ``next_ff[i]`` -- start index of the first eligible run at or
+          after event ``i`` (``len(trace)`` when none remain), so the
+          scalar loop knows exactly how far to interpret before the
+          next fast-forward opportunity;
+        * ``runs[start] = (end, icycles, distinct_blocks,
+          last_offsets, n_events, run_sets)`` -- the half-open span, the
+          per-event ``ilen * cpi`` terms (bit-identical operands to
+          :meth:`packed_events`, accumulated sequentially so float
+          cycle totals match the scalar loop), the distinct instruction
+          blocks in first-occurrence order (a tuple -- the engine keys
+          its residency memo on it, so identical code-path runs in
+          *different* traces share memo entries), each block's last
+          within-run offset (its final age stamp under MRU promotion),
+          the event count, and the distinct L1-I set indices the run's
+          blocks map to (the engine sums those sets' fill counters into
+          the memo's residency signature, so only a fill touching an
+          involved set invalidates it).
+
+        Span discovery is vectorized with NumPy over the ``dblocks``
+        column; built once per ``(cpi, num_sets)`` and shared by every
+        run of the batch.
+        """
+        key = (cpi, num_sets)
+        if key in self._run_tables:
+            return self._run_tables[key]
+        iblocks, ilens, dblocks, _ = self.event_columns()
+        n = len(iblocks)
+        flags = np.zeros(n + 2, dtype=np.int8)
+        flags[1:-1] = np.asarray(self.dblocks, dtype=np.int64) < 0
+        edges = np.diff(flags)
+        starts = np.flatnonzero(edges == 1)
+        ends = np.flatnonzero(edges == -1)
+        eligible = (ends - starts) >= RUN_MIN_EVENTS
+        starts = starts[eligible]
+        ends = ends[eligible]
+        if len(starts) == 0:
+            self._run_tables[key] = None
+            return None
+        icycles_all = np.asarray(self.ilens, dtype=np.int64) * cpi
+        idx = np.searchsorted(starts, np.arange(n + 1), side="left")
+        next_ff = np.where(
+            idx < len(starts),
+            starts[np.minimum(idx, len(starts) - 1)],
+            n,
+        ).tolist()
+        pot = num_sets & (num_sets - 1) == 0
+        mask = num_sets - 1
+        runs = {}
+        for s, e in zip(starts.tolist(), ends.tolist()):
+            last_offset: dict = {}
+            for off, block in enumerate(iblocks[s:e]):
+                last_offset[block] = off
+            run_sets: dict = {}
+            for block in last_offset:
+                run_sets[(block & mask) if pot
+                         else (block % num_sets)] = None
+            runs[s] = (
+                e,
+                icycles_all[s:e].tolist(),
+                tuple(last_offset.keys()),
+                list(last_offset.values()),
+                e - s,
+                tuple(run_sets),
+            )
+        tables = (next_ff, runs)
+        self._run_tables[key] = tables
+        return tables
 
     def iblock_set_indices(self, num_sets: int) -> list:
         """Per-event L1-I set index of each instruction block.
@@ -127,11 +267,12 @@ class TransactionTrace:
         """
         indices = self._set_indices.get(num_sets)
         if indices is None:
+            iblocks = self.event_columns()[0]
             if num_sets & (num_sets - 1) == 0:
                 mask = num_sets - 1
-                indices = [block & mask for block in self.iblocks]
+                indices = [block & mask for block in iblocks]
             else:
-                indices = [block % num_sets for block in self.iblocks]
+                indices = [block % num_sets for block in iblocks]
             self._set_indices[num_sets] = indices
         return indices
 
@@ -141,9 +282,10 @@ class TransactionTrace:
         count is ``prefix[end] - prefix[start]``.  Memoized."""
         prefix = self._ilen_prefix
         if prefix is None:
-            prefix = [0] * (len(self.ilens) + 1)
+            ilens = self.event_columns()[1]
+            prefix = [0] * (len(ilens) + 1)
             total = 0
-            for i, ilen in enumerate(self.ilens):
+            for i, ilen in enumerate(ilens):
                 total += ilen
                 prefix[i + 1] = total
             self._ilen_prefix = prefix
@@ -230,14 +372,18 @@ def load_traces(path: str) -> List[TransactionTrace]:
         types = data["types"]
         traces = []
         for i in range(len(ids)):
+            # Keep the columnar arrays: the run tables and content
+            # digests consume them directly, and TransactionTrace
+            # stores them without copying (normalizing to lists
+            # lazily, only if the replay loops need them).
             traces.append(
                 TransactionTrace(
                     int(ids[i]),
                     str(types[i]),
-                    data[f"i{i}"].tolist(),
-                    data[f"l{i}"].tolist(),
-                    data[f"d{i}"].tolist(),
-                    data[f"w{i}"].tolist(),
+                    data[f"i{i}"],
+                    data[f"l{i}"],
+                    data[f"d{i}"],
+                    data[f"w{i}"],
                 )
             )
     return traces

@@ -104,7 +104,7 @@ class InvariantChecker:
             t.total_instructions for t in traces
         )
         self._expected_data_events = sum(
-            1 for t in traces for d in t.dblocks if d >= 0
+            1 for t in traces for d in t.event_columns()[2] if d >= 0
         )
 
     def _fail(self, oracle: str, detail: str) -> None:
