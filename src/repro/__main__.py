@@ -35,6 +35,13 @@ fast *and* reference kernels with the invariant oracles armed
 one-file JSON repro; ``fuzz replay``/``fuzz corpus`` re-run saved
 cases (``tests/corpus/`` is the committed corpus).
 
+The ``trace`` subcommand renders the structured traces every layer
+emits when ``REPRO_TRACE=<path>`` is set (``repro.obs``): ``summary``
+for per-span-name self/total time, hottest cells, and kernel counter
+rollups; ``tree`` for the nested span tree per process; ``export
+--json`` for the machine-readable rollup.  ``perf --trace`` embeds
+the kernel counters of a traced run in the bench report.
+
 Examples::
 
     python -m repro --workload tpcc --scheduler strex --cores 4
@@ -59,6 +66,10 @@ Examples::
     python -m repro perf --check prior/BENCH_sim.json --max-slowdown 0.15
     python -m repro perf --history BENCH_history.jsonl --min-speedup 1.5
     python -m repro perf --profile 25
+    REPRO_TRACE=trace.jsonl python -m repro perf --scale tiny --trace
+    python -m repro trace summary trace.jsonl --top 5
+    python -m repro trace tree trace.jsonl --depth 3
+    python -m repro trace export --json trace.jsonl
     python -m repro diff old/.cache/manifest.jsonl new/.cache
     python -m repro diff a/manifest.jsonl b/manifest.jsonl \\
         --rel-tol 0.01 --markdown
@@ -80,6 +91,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import List, Tuple
@@ -813,6 +825,11 @@ def build_perf_parser() -> argparse.ArgumentParser:
                         help="instead of benchmarking, cProfile one "
                              "fast-path run and print the top N "
                              "functions by total time")
+    parser.add_argument("--trace", action="store_true",
+                        help="embed the engine's own kernel counters "
+                             "(fast-forward runs taken, memo hit "
+                             "rate, batch record/replay tallies) in "
+                             "the report as 'kernel_counters'")
     return parser
 
 
@@ -839,12 +856,10 @@ def run_perf(argv: List[str]) -> Tuple[str, int]:
         repeats=args.repeats,
         seed=args.seed,
         cores=args.cores,
+        trace_counters=args.trace,
     )
     write_bench(report, args.out)
     text = format_report(report) + f"\nwrote {args.out}"
-    if args.history is not None:
-        append_history(report, args.history)
-        text += f"\nappended to {args.history}"
     code = 0
     if args.min_speedup is not None:
         actual = float(report["batch_speedup"])
@@ -855,15 +870,87 @@ def run_perf(argv: List[str]) -> Tuple[str, int]:
         else:
             text += (f"\nbatch layer above floor: x{actual:.2f} >= "
                      f"x{args.min_speedup:.2f}")
-    if args.check is None:
-        return text, code
-    if not args.check.exists():
-        return (text + f"\nno prior report at {args.check}; "
-                f"nothing to gate against", code)
-    prior = json.loads(args.check.read_text())
-    ok, message = check_regression(report, prior,
-                                   max_slowdown=args.max_slowdown)
-    return text + "\n" + message, code if ok else 1
+    if args.check is not None:
+        if not args.check.exists():
+            text += (f"\nno prior report at {args.check}; "
+                     f"nothing to gate against")
+        else:
+            prior = json.loads(args.check.read_text())
+            ok, message = check_regression(
+                report, prior, max_slowdown=args.max_slowdown)
+            text += "\n" + message
+            if not ok:
+                code = 1
+    # The ledger archives *clean* runs only: every gate above must
+    # have passed (parity failures raise inside run_bench and never
+    # get here).  Appending a failing report would poison later
+    # over-time comparisons with numbers a gate already rejected.
+    if args.history is not None:
+        if code == 0 and report.get("parity") is True:
+            append_history(report, args.history)
+            text += f"\nappended to {args.history}"
+        else:
+            text += (f"\nnot appending to {args.history}: report "
+                     f"failed a gate")
+    return text, code
+
+
+def build_trace_parser() -> argparse.ArgumentParser:
+    """Parser for the ``trace`` subcommand (``repro.obs``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description="Inspect a structured trace written by "
+                    "REPRO_TRACE=<path>: per-span wall-time rollups "
+                    "with self/total split, the hottest sweep cells, "
+                    "kernel counters summed over every sim.run span, "
+                    "and merged cross-process metrics.  'summary' "
+                    "aggregates, 'tree' renders the span forest, "
+                    "'export' emits the summary as JSON for CI "
+                    "artifacts.",
+    )
+    parser.add_argument("action", choices=("summary", "tree", "export"),
+                        help="summary: aggregate rollups; tree: the "
+                             "nested span forest; export: summary as "
+                             "JSON")
+    parser.add_argument("path", nargs="?", type=Path, default=None,
+                        help="trace JSONL sink (default: the current "
+                             "REPRO_TRACE value)")
+    parser.add_argument("--top", type=int, default=10,
+                        help="hottest cells to list (default 10)")
+    parser.add_argument("--depth", type=int, default=None,
+                        help="maximum tree depth for 'tree'")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the summary as JSON (implied by "
+                             "'export')")
+    return parser
+
+
+def run_trace(argv: List[str]) -> Tuple[str, int]:
+    """Execute the ``trace`` subcommand; returns (report, exit code)."""
+    from repro.obs import TRACE_ENV
+    from repro.obs.report import (format_summary, format_tree,
+                                  load_trace, summarize)
+
+    # parse_intermixed_args lets flags precede the optional positional
+    # ("trace export --json trace.jsonl"), which plain parse_args
+    # rejects for nargs='?' positionals.
+    args = build_trace_parser().parse_intermixed_args(argv)
+    path = args.path
+    if path is None:
+        env = os.environ.get(TRACE_ENV)
+        if not env:
+            raise ValueError(
+                "no trace path given and REPRO_TRACE is not set")
+        path = Path(env)
+    if not path.exists():
+        raise ValueError(f"no trace file at {path}")
+    data = load_trace(path)
+    if args.action == "tree":
+        return format_tree(data, depth=args.depth), 0
+    summary = summarize(data, top=args.top)
+    if args.action == "export" or args.json:
+        return json.dumps(summary, indent=2, sort_keys=True), 0
+    return format_summary(summary), 0
 
 
 def main(argv=None) -> int:
@@ -893,6 +980,10 @@ def main(argv=None) -> int:
             return code
         if argv and argv[0] == "baseline":
             text, code = run_baseline(argv[1:])
+            print(text)
+            return code
+        if argv and argv[0] == "trace":
+            text, code = run_trace(argv[1:])
             print(text)
             return code
         args = build_parser().parse_args(argv)

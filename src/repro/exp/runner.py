@@ -31,6 +31,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
+from repro import obs
 from repro.analysis.overlap import OverlapAnalysis, OverlapResult
 from repro.core.fptable import FootprintResult, profile_fptable
 from repro.core.identical import replicate_instances
@@ -159,11 +160,27 @@ def _worker_run(spec: RunSpec, timeout: Optional[float]):
         previous = signal.signal(signal.SIGALRM, _on_alarm)
         signal.setitimer(signal.ITIMER_REAL, timeout)
     try:
-        result = execute_spec(spec)
+        # One span per executed cell; a timeout or crash still closes
+        # it (tagged error=<type>) before the exception propagates to
+        # the retry logic, so the sink records where the time went.
+        with obs.span(
+            "cell",
+            spec=spec.describe(),
+            workload=spec.workload,
+            scheduler=spec.scheduler,
+            mode=spec.mode,
+            cores=spec.cores,
+            seed=spec.seed,
+        ):
+            result = execute_spec(spec)
     finally:
         if use_alarm:
             signal.setitimer(signal.ITIMER_REAL, 0)
             signal.signal(signal.SIGALRM, previous)
+        # Flush this process's metrics delta after every cell: pool
+        # workers are long-lived and may be torn down without running
+        # exit hooks, and a per-cell delta line is tiny.
+        obs.flush()
     return (result.to_dict(), type(result).__name__, os.getpid(),
             time.perf_counter() - start)
 
@@ -254,26 +271,46 @@ class Runner:
         # sweeps") groups rows by it.
         self._sweep_id = uuid.uuid4().hex[:12]
 
-        keys = [spec_key(spec) for spec in specs]
-        results: List[Optional[object]] = [None] * len(specs)
-        pending: List[int] = []
-        for idx, spec in enumerate(specs):
-            cached = self.cache.get(keys[idx]) if self.cache else None
-            if cached is not None:
-                results[idx] = cached
-                self._record(idx, spec, keys[idx], hit=True, wall=0.0,
-                             worker=None, attempts=0)
-            elif self.shard is not None and \
-                    not self.shard.selects(keys[idx]):
-                self.skipped += 1
-            else:
-                pending.append(idx)
+        with obs.span(
+            "sweep",
+            sweep=self._sweep_id,
+            cells=len(specs),
+            jobs=self.jobs,
+            shard=str(self.shard) if self.shard is not None else None,
+        ) as span:
+            keys = [spec_key(spec) for spec in specs]
+            results: List[Optional[object]] = [None] * len(specs)
+            pending: List[int] = []
+            for idx, spec in enumerate(specs):
+                cached = (
+                    self.cache.get(keys[idx]) if self.cache else None
+                )
+                if cached is not None:
+                    results[idx] = cached
+                    self._record(idx, spec, keys[idx], hit=True,
+                                 wall=0.0, worker=None, attempts=0)
+                elif self.shard is not None and \
+                        not self.shard.selects(keys[idx]):
+                    self.skipped += 1
+                else:
+                    pending.append(idx)
 
-        if pending:
-            if self.jobs <= 1 or len(pending) == 1:
-                self._run_serial(specs, keys, pending, results)
-            else:
-                self._run_parallel(specs, keys, pending, results)
+            if pending:
+                if self.jobs <= 1 or len(pending) == 1:
+                    self._run_serial(specs, keys, pending, results)
+                else:
+                    self._run_parallel(specs, keys, pending, results)
+            if span.armed:
+                span.add("hits", self.hits)
+                span.add("misses", self.misses)
+                span.add("skipped", self.skipped)
+                tracer = obs.tracer()
+                if tracer is not None:
+                    metrics = tracer.metrics
+                    metrics.inc("exp.cells.hit", self.hits)
+                    metrics.inc("exp.cells.executed", self.misses)
+                    metrics.inc("exp.cells.skipped", self.skipped)
+                    tracer.flush_metrics()
         return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
@@ -338,7 +375,17 @@ class Runner:
         """Raise :class:`RunError` unless another retry is allowed."""
         retryable = isinstance(exc, _RETRYABLE)
         if not retryable or attempts > self.retries:
+            obs.add("failures")
+            obs.metric_inc("exp.failures")
             raise RunError(spec, attempts, exc) from exc
+        # A retry is about to happen: tally it on the open sweep span
+        # and in the process metrics (timeouts separately -- they are
+        # the retry cause perf triage cares about most).
+        obs.add("retries")
+        obs.metric_inc("exp.retries")
+        if isinstance(exc, SimTimeoutError):
+            obs.add("timeouts")
+            obs.metric_inc("exp.timeouts")
         if isinstance(exc, BrokenProcessPool):
             self._shutdown_pool()
 
@@ -360,6 +407,7 @@ class Runner:
             self.hits += 1
         else:
             self.misses += 1
+            obs.metric_observe("exp.cell.wall_us", wall * 1e6)
         entry = ManifestEntry(
             key=key,
             spec=spec.to_dict(),

@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.exp.cache import ResultCache, spec_key
 from repro.exp.manifest import Manifest, ManifestEntry
 from repro.exp.runner import Runner
@@ -182,38 +183,44 @@ def merge_caches(dest: Union[ResultCache, Path, str],
         dest = ResultCache(dest)
     report = MergeReport()
     merged_from: Dict[str, Path] = {}
-    for source_root in sources:
-        source = ResultCache(source_root)
-        report.sources += 1
-        for key in source.keys():
-            blob = source.read_bytes(key)
-            entry = _parse_entry(blob, key)
-            if entry is None:
-                report.corrupt += 1
-                continue
-            dest_path = dest.path_for(key)
-            if dest_path.exists():
-                current = dest_path.read_bytes()
-                if current == blob:
-                    report.identical += 1
+    with obs.span("shard.merge", dest=str(dest.root)) as span:
+        for source_root in sources:
+            source = ResultCache(source_root)
+            report.sources += 1
+            for key in source.keys():
+                blob = source.read_bytes(key)
+                entry = _parse_entry(blob, key)
+                if entry is None:
+                    report.corrupt += 1
                     continue
-                existing = _parse_entry(current, key)
-                if existing is None:
-                    # Torn destination entry: a local miss, safe to
-                    # heal with the shard's valid copy.
-                    dest.put_bytes(key, blob)
-                    merged_from[key] = source.path_for(key)
-                    report.added += 1
-                    continue
-                if _same_result(existing, entry):
-                    report.identical += 1
-                    continue
-                raise ShardMergeConflict(
-                    key, merged_from.get(key, dest_path),
-                    source.path_for(key))
-            dest.put_bytes(key, blob)
-            merged_from[key] = source.path_for(key)
-            report.added += 1
+                dest_path = dest.path_for(key)
+                if dest_path.exists():
+                    current = dest_path.read_bytes()
+                    if current == blob:
+                        report.identical += 1
+                        continue
+                    existing = _parse_entry(current, key)
+                    if existing is None:
+                        # Torn destination entry: a local miss, safe to
+                        # heal with the shard's valid copy.
+                        dest.put_bytes(key, blob)
+                        merged_from[key] = source.path_for(key)
+                        report.added += 1
+                        continue
+                    if _same_result(existing, entry):
+                        report.identical += 1
+                        continue
+                    raise ShardMergeConflict(
+                        key, merged_from.get(key, dest_path),
+                        source.path_for(key))
+                dest.put_bytes(key, blob)
+                merged_from[key] = source.path_for(key)
+                report.added += 1
+        if span.armed:
+            span.add("sources", report.sources)
+            span.add("added", report.added)
+            span.add("identical", report.identical)
+            span.add("corrupt", report.corrupt)
     return report
 
 
@@ -258,9 +265,14 @@ def run_shard(specs: Union[SweepSpec, Sequence[RunSpec]],
     root = Path(root)
     cache = ResultCache(root)
     manifest = Manifest(root / "manifest.jsonl")
-    runner = Runner(jobs=jobs, cache=cache, manifest=manifest,
-                    timeout=timeout, retries=retries, shard=shard)
-    results = runner.run(specs)
+    with obs.span("shard", shard=str(shard), root=str(root)) as span:
+        runner = Runner(jobs=jobs, cache=cache, manifest=manifest,
+                        timeout=timeout, retries=retries, shard=shard)
+        results = runner.run(specs)
+        if span.armed:
+            span.add("hits", runner.hits)
+            span.add("misses", runner.misses)
+            span.add("skipped", runner.skipped)
     return ShardRun(shard=shard, root=root, results=results,
                     hits=runner.hits, misses=runner.misses,
                     skipped=runner.skipped)
@@ -344,6 +356,33 @@ def run_all_shards(specs: Union[SweepSpec, Sequence[RunSpec]],
     Cells already present in the shared cache are never assigned to a
     shard at all, so a warm rerun launches nothing.
     """
+    with obs.span(
+        "shard.orchestrate", cache_dir=str(cache_dir), shards=count
+    ) as span:
+        report = _run_all_shards(
+            specs, cache_dir, count, procs, jobs, timeout, retries,
+            relaunches, poll_interval, mp_context)
+        if span.armed:
+            relaunched = sum(
+                n - 1 for n in report.launches.values() if n > 1)
+            span.add("cells", len(report.specs))
+            span.add("precached", report.precached)
+            span.add("launches", sum(report.launches.values()))
+            span.add("relaunches", relaunched)
+            tracer = obs.tracer()
+            if tracer is not None:
+                tracer.metrics.inc(
+                    "exp.shard.launches",
+                    sum(report.launches.values()))
+                tracer.metrics.inc(
+                    "exp.shard.relaunches", relaunched)
+                tracer.flush_metrics()
+    return report
+
+
+def _run_all_shards(specs, cache_dir, count, procs, jobs, timeout,
+                    retries, relaunches, poll_interval,
+                    mp_context) -> ShardSweepReport:
     if isinstance(specs, SweepSpec):
         specs = specs.expand()
     specs = list(specs)

@@ -1,0 +1,154 @@
+"""repro.obs -- zero-dependency structured observability.
+
+Layering rule: everything here is stdlib-only and imports nothing else
+from ``repro``, so any layer (exp runner, shard orchestrator, sim
+kernel, perf bench) can instrument itself without import cycles.
+
+The module-level API is what instrumented code calls:
+
+``obs.span(name, **tags)``
+    Context manager.  Returns a real :class:`~repro.obs.tracer.Span`
+    when tracing is armed, else the shared no-op ``NULL_SPAN`` --
+    disarmed call sites pay one env lookup and nothing else.
+``obs.add(counter, n)``
+    Bump a counter on the innermost open span (no-op when disarmed).
+``obs.metric_inc / obs.metric_observe / obs.metric_gauge``
+    Process-wide metrics, independent of the span stack.
+``obs.flush()``
+    Append the metrics delta to the sink (called at natural phase ends
+    and again at process exit).
+
+Arming: setting ``REPRO_TRACE=<path>`` arms a process-wide tracer
+sinking to that path.  The environment is re-checked on every
+``tracer()`` call (cheap), so tests can arm/disarm via ``monkeypatch``
+and subprocess workers inherit the sink automatically.  Forked children
+get their own tracer (fresh stack, own pid) lazily because the cached
+tracer is keyed by ``(pid, sink)``.  ``obs.use(tracer)`` installs an
+explicit (usually in-memory) tracer for the current process, overriding
+the environment -- the unit-test and ``perf --trace`` entry point.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from contextlib import contextmanager
+from typing import Optional
+
+from repro.obs.metrics import (
+    NUM_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    bucket_bounds,
+    bucket_index,
+)
+from repro.obs.tracer import (
+    NULL_SPAN,
+    RING_CAPACITY,
+    Span,
+    TRACE_ENV,
+    Tracer,
+)
+
+__all__ = [
+    "NULL_SPAN",
+    "NUM_BUCKETS",
+    "RING_CAPACITY",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "TRACE_ENV",
+    "Tracer",
+    "add",
+    "bucket_bounds",
+    "bucket_index",
+    "flush",
+    "metric_gauge",
+    "metric_inc",
+    "metric_observe",
+    "span",
+    "tracer",
+    "use",
+]
+
+# Cached env-armed tracer, keyed by (pid, sink path).  The pid in the
+# key makes forked children (pool workers, shard subprocesses) build
+# their own tracer -- fresh span stack, own span-id namespace -- on
+# first use instead of inheriting the parent's open spans.
+_TRACER: Optional[Tracer] = None
+_TRACER_KEY: Optional[tuple] = None
+# Explicitly installed tracer (obs.use); overrides the environment in
+# the installing process only.
+_INSTALLED: Optional[tuple] = None
+
+
+def tracer() -> Optional[Tracer]:
+    """The active tracer for this process, or None when disarmed."""
+    global _TRACER, _TRACER_KEY
+    if _INSTALLED is not None and _INSTALLED[1] == os.getpid():
+        return _INSTALLED[0]
+    sink = os.environ.get(TRACE_ENV) or None
+    key = (os.getpid(), sink)
+    if key != _TRACER_KEY:
+        _TRACER_KEY = key
+        _TRACER = Tracer(sink=sink) if sink else None
+    return _TRACER
+
+
+@contextmanager
+def use(tracer_obj: Tracer):
+    """Install ``tracer_obj`` as this process's tracer for the block."""
+    global _INSTALLED
+    prev = _INSTALLED
+    _INSTALLED = (tracer_obj, os.getpid())
+    try:
+        yield tracer_obj
+    finally:
+        _INSTALLED = prev
+
+
+def span(name: str, **tags):
+    """Open a span on the active tracer; NULL_SPAN when disarmed."""
+    t = tracer()
+    return t.span(name, **tags) if t is not None else NULL_SPAN
+
+
+def add(counter: str, n: int = 1) -> None:
+    t = tracer()
+    if t is not None:
+        t.add(counter, n)
+
+
+def metric_inc(name: str, n: int = 1) -> None:
+    t = tracer()
+    if t is not None:
+        t.metrics.inc(name, n)
+
+
+def metric_observe(name: str, value: float) -> None:
+    t = tracer()
+    if t is not None:
+        t.metrics.observe(name, value)
+
+
+def metric_gauge(name: str, value: float) -> None:
+    t = tracer()
+    if t is not None:
+        t.metrics.set_gauge(name, value)
+
+
+def flush() -> None:
+    t = tracer()
+    if t is not None:
+        t.flush_metrics()
+
+
+@atexit.register
+def _flush_at_exit() -> None:  # pragma: no cover - exit hook
+    # Flush the cached tracer only (never *create* one at exit), and
+    # only in the process that owns it.
+    t = _TRACER
+    if t is not None and t.pid == os.getpid():
+        t.flush_metrics()
+    if _INSTALLED is not None and _INSTALLED[1] == os.getpid():
+        _INSTALLED[0].flush_metrics()

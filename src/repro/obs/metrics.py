@@ -1,0 +1,236 @@
+"""Process-local metrics with cross-process merge semantics.
+
+A :class:`MetricsRegistry` holds three families of instruments:
+
+``counters``
+    Monotonic integer totals (``inc``).  Merge = sum.
+``gauges``
+    Last-known scalar values (``set_gauge``).  Merge = max, so a merged
+    view is deterministic regardless of which shard's record lands
+    first in the sink.
+``histograms``
+    Fixed log2-bucket distributions (``observe``).  Merge = bucket-wise
+    sum (count and total sum too).
+
+Registries serialize to plain dicts (``to_dict``/``from_dict``) so the
+tracer can append them to a JSONL sink as ``{"kind": "metrics", ...}``
+records; ``repro.obs.report`` merges every such record back into one
+registry when reading a trace.  Flushes write *deltas* since the last
+flush (see :meth:`MetricsRegistry.delta_since`), which makes repeated
+flushes and multi-process sinks merge-safe: summing every record yields
+exactly the cumulative totals.
+
+The bucket layout is fixed so merged histograms always align:
+bucket 0 counts values below 1 (including zero and negatives), and
+bucket ``i`` (``i >= 1``) counts values in ``[2**(i-1), 2**i)``, capped
+at ``NUM_BUCKETS - 1`` for anything larger.  Observe in the unit that
+makes integer-ish magnitudes interesting (e.g. microseconds for wall
+times).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Tuple
+
+__all__ = [
+    "NUM_BUCKETS",
+    "Histogram",
+    "MetricsRegistry",
+    "bucket_bounds",
+    "bucket_index",
+]
+
+#: Number of log2 buckets in every histogram.  64 buckets cover the
+#: full non-negative int64 range, so the layout never needs to grow.
+NUM_BUCKETS = 64
+
+
+def bucket_index(value: float) -> int:
+    """Map ``value`` to its fixed log2 bucket.
+
+    ``value < 1`` (zero and negatives included) lands in bucket 0;
+    otherwise bucket ``i`` covers ``[2**(i-1), 2**i)``.  Values at or
+    above ``2**(NUM_BUCKETS-1)`` are clamped into the last bucket.
+    """
+    if value < 1 or value != value:  # NaN guards to bucket 0
+        return 0
+    if math.isinf(value):
+        return NUM_BUCKETS - 1
+    # frexp(v) = (f, e) with v = f * 2**e and 0.5 <= f < 1, so
+    # 2**(e-1) <= v < 2**e: the exponent *is* the bucket index.
+    exponent = math.frexp(value)[1]
+    return exponent if exponent < NUM_BUCKETS else NUM_BUCKETS - 1
+
+
+def bucket_bounds(index: int) -> Tuple[float, float]:
+    """Half-open ``[lo, hi)`` value range covered by bucket ``index``."""
+    if index <= 0:
+        return (0.0, 1.0)
+    if index >= NUM_BUCKETS - 1:
+        return (float(2 ** (NUM_BUCKETS - 2)), math.inf)
+    return (float(2 ** (index - 1)), float(2 ** index))
+
+
+class Histogram:
+    """Fixed log2-bucket histogram (sparse storage, dense semantics)."""
+
+    __slots__ = ("buckets", "count", "total")
+
+    def __init__(self) -> None:
+        self.buckets: Dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        idx = bucket_index(value)
+        self.buckets[idx] = self.buckets.get(idx, 0) + 1
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        for idx, n in other.buckets.items():
+            self.buckets[idx] = self.buckets.get(idx, 0) + n
+        self.count += other.count
+        self.total += other.total
+
+    def copy(self) -> "Histogram":
+        dup = Histogram()
+        dup.buckets = dict(self.buckets)
+        dup.count = self.count
+        dup.total = self.total
+        return dup
+
+    def to_dict(self) -> dict:
+        return {
+            "buckets": {str(i): n for i, n in sorted(self.buckets.items())},
+            "count": self.count,
+            "total": self.total,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Histogram":
+        hist = cls()
+        hist.buckets = {
+            int(i): int(n) for i, n in data.get("buckets", {}).items()
+        }
+        hist.count = int(data.get("count", 0))
+        hist.total = float(data.get("total", 0.0))
+        return hist
+
+
+class MetricsRegistry:
+    """Counters, gauges, and histograms for one process (or one merge)."""
+
+    __slots__ = ("counters", "gauges", "histograms")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    # -- instruments ---------------------------------------------------
+    def inc(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.observe(value)
+
+    def __bool__(self) -> bool:
+        return bool(self.counters or self.gauges or self.histograms)
+
+    # -- merge / copy --------------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold ``other`` into this registry.
+
+        Counters and histograms are additive; gauges take the max so
+        the result does not depend on merge order.
+        """
+        for name, n in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + n
+        for name, value in other.gauges.items():
+            prior = self.gauges.get(name)
+            self.gauges[name] = (
+                value if prior is None else max(prior, value)
+            )
+        for name, hist in other.histograms.items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                self.histograms[name] = hist.copy()
+            else:
+                mine.merge(hist)
+
+    def copy(self) -> "MetricsRegistry":
+        dup = MetricsRegistry()
+        dup.counters = dict(self.counters)
+        dup.gauges = dict(self.gauges)
+        dup.histograms = {
+            name: hist.copy() for name, hist in self.histograms.items()
+        }
+        return dup
+
+    def delta_since(self, baseline: "MetricsRegistry") -> "MetricsRegistry":
+        """Registry holding growth since ``baseline`` (a prior copy).
+
+        Counters and histogram buckets subtract; gauges carry their
+        current values (max-merge makes repeats harmless).  Summing a
+        stream of deltas reproduces the cumulative registry, which is
+        what makes periodic flushes to a shared sink merge-safe.
+        """
+        delta = MetricsRegistry()
+        for name, n in self.counters.items():
+            diff = n - baseline.counters.get(name, 0)
+            if diff:
+                delta.counters[name] = diff
+        delta.gauges = dict(self.gauges)
+        for name, hist in self.histograms.items():
+            base = baseline.histograms.get(name)
+            if base is None:
+                delta.histograms[name] = hist.copy()
+                continue
+            diff = Histogram()
+            for idx, count in hist.buckets.items():
+                d = count - base.buckets.get(idx, 0)
+                if d:
+                    diff.buckets[idx] = d
+            diff.count = hist.count - base.count
+            diff.total = hist.total - base.total
+            if diff.count or diff.buckets:
+                delta.histograms[name] = diff
+        return delta
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {
+                name: hist.to_dict()
+                for name, hist in sorted(self.histograms.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MetricsRegistry":
+        reg = cls()
+        reg.counters = {
+            str(k): int(v) for k, v in data.get("counters", {}).items()
+        }
+        reg.gauges = {
+            str(k): float(v) for k, v in data.get("gauges", {}).items()
+        }
+        reg.histograms = {
+            str(k): Histogram.from_dict(v)
+            for k, v in data.get("histograms", {}).items()
+        }
+        return reg

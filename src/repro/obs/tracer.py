@@ -1,0 +1,235 @@
+"""Structured span tracer with an in-memory ring and a JSONL sink.
+
+A :class:`Tracer` emits nested spans: each ``with tracer.span(name,
+**tags)`` block measures a monotonic-clock interval, carries string
+tags and integer counters, and knows its parent (whatever span is open
+on the same tracer's stack).  Completed spans land in a bounded
+in-memory ring (newest-first eviction via ``deque(maxlen=...)``) and,
+when the tracer has a sink path, are appended to a JSONL file -- one
+``json.dumps`` line per span, written with a single ``write()`` call so
+concurrent writers (shard subprocesses, pool workers appending to the
+same path) interleave whole lines, the same atomicity contract
+``repro.exp.manifest`` relies on.  A process killed mid-write can leave
+at most one torn trailing line, which readers skip.
+
+Spans are written at *close* time, children before parents; readers
+reconstruct the tree from ``id``/``parent`` fields.  Span ids are
+``"<pid>-<seq>"`` so records from different processes sharing one sink
+never collide.
+
+The tracer also owns a :class:`~repro.obs.metrics.MetricsRegistry`.
+``flush_metrics`` appends a ``{"kind": "metrics", ...}`` record holding
+the *delta* since the previous flush, so periodic flushes (end of a
+sweep, end of a shard, process exit) sum back to the cumulative totals
+when a trace is read.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import deque
+from pathlib import Path
+from typing import Deque, Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "NULL_SPAN",
+    "RING_CAPACITY",
+    "Span",
+    "TRACE_ENV",
+    "Tracer",
+]
+
+#: Environment variable naming the JSONL sink; setting it arms tracing.
+TRACE_ENV = "REPRO_TRACE"
+
+#: Default number of completed spans kept in memory.
+RING_CAPACITY = 1024
+
+
+class Span:
+    """One timed, tagged interval.  Use as a context manager."""
+
+    __slots__ = (
+        "name",
+        "tags",
+        "counters",
+        "children",
+        "span_id",
+        "parent_id",
+        "pid",
+        "start_s",
+        "dur_s",
+        "_tracer",
+    )
+
+    #: Real spans report armed=True so call sites can skip building
+    #: expensive counter payloads when handed the null span instead.
+    armed = True
+
+    def __init__(self, tracer: "Tracer", name: str, tags: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.tags = {
+            k: v for k, v in tags.items() if v is not None
+        }
+        self.counters: Dict[str, int] = {}
+        self.children: List["Span"] = []
+        self.span_id = ""
+        self.parent_id: Optional[str] = None
+        self.pid = tracer.pid
+        self.start_s = 0.0
+        self.dur_s = 0.0
+
+    def add(self, counter: str, n: int = 1) -> None:
+        self.counters[counter] = self.counters.get(counter, 0) + n
+
+    def tag(self, **tags) -> None:
+        self.tags.update(
+            (k, v) for k, v in tags.items() if v is not None
+        )
+
+    def __enter__(self) -> "Span":
+        self._tracer._on_enter(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.tags.setdefault("error", exc_type.__name__)
+        self._tracer._on_exit(self)
+        return False
+
+    def to_record(self) -> dict:
+        return {
+            "kind": "span",
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "pid": self.pid,
+            "start_s": round(self.start_s, 9),
+            "dur_s": round(self.dur_s, 9),
+            "tags": self.tags,
+            "counters": self.counters,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Span({self.name!r}, id={self.span_id!r},"
+            f" dur={self.dur_s:.6f})"
+        )
+
+
+class _NullSpan:
+    """Shared no-op span handed out when tracing is disarmed.
+
+    Every method is a constant-time no-op and ``armed`` is False, so
+    instrumented hot paths pay one attribute check and nothing else.
+    The singleton is stateless and therefore safely re-entrant.
+    """
+
+    __slots__ = ()
+    armed = False
+
+    def add(self, counter: str, n: int = 1) -> None:
+        pass
+
+    def tag(self, **tags) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Per-process span emitter; see the module docstring for schema."""
+
+    armed = True
+
+    def __init__(
+        self,
+        sink: Optional[os.PathLike] = None,
+        ring_capacity: int = RING_CAPACITY,
+    ) -> None:
+        self.pid = os.getpid()
+        self.sink = Path(sink) if sink is not None else None
+        #: Completed spans, oldest evicted first.
+        self.ring: Deque[Span] = deque(maxlen=ring_capacity)
+        self.metrics = MetricsRegistry()
+        self._flushed = MetricsRegistry()
+        self._stack: List[Span] = []
+        self._seq = 0
+        # Span starts are reported relative to the tracer's creation on
+        # the monotonic clock; only durations are comparable across
+        # processes.
+        self._epoch = time.perf_counter()
+
+    # -- span API ------------------------------------------------------
+    def span(self, name: str, **tags) -> Span:
+        return Span(self, name, tags)
+
+    def current(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    def add(self, counter: str, n: int = 1) -> None:
+        """Bump a counter on the innermost open span (if any)."""
+        if self._stack:
+            self._stack[-1].add(counter, n)
+
+    # -- span lifecycle (called by Span) -------------------------------
+    def _on_enter(self, span: Span) -> None:
+        self._seq += 1
+        span.span_id = f"{self.pid}-{self._seq}"
+        parent = self.current()
+        span.parent_id = parent.span_id if parent is not None else None
+        self._stack.append(span)
+        span.start_s = time.perf_counter() - self._epoch
+
+    def _on_exit(self, span: Span) -> None:
+        span.dur_s = (
+            time.perf_counter() - self._epoch - span.start_s
+        )
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        else:  # pragma: no cover - misuse guard
+            try:
+                self._stack.remove(span)
+            except ValueError:
+                pass
+        parent = self.current()
+        if parent is not None:
+            parent.children.append(span)
+        self.ring.append(span)
+        self._write(span.to_record())
+
+    # -- sink ----------------------------------------------------------
+    def _write(self, record: dict) -> None:
+        if self.sink is None:
+            return
+        line = json.dumps(
+            record, sort_keys=True, separators=(",", ":")
+        )
+        self.sink.parent.mkdir(parents=True, exist_ok=True)
+        # A single write of one newline-terminated line: concurrent
+        # appenders interleave whole records (short lines sit well
+        # under PIPE_BUF) and a SIGKILL can tear at most the last one.
+        with open(self.sink, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+
+    def flush_metrics(self) -> None:
+        """Append the metrics delta since the last flush to the sink."""
+        delta = self.metrics.delta_since(self._flushed)
+        if not delta:
+            return
+        self._flushed = self.metrics.copy()
+        self._write(
+            {"kind": "metrics", "pid": self.pid, **delta.to_dict()}
+        )

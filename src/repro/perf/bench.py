@@ -31,6 +31,7 @@ import time
 from pathlib import Path
 from typing import Dict, Iterable, Optional, Tuple
 
+from repro import obs
 from repro.config import SCALES
 from repro.fastpath import ENV_VAR, NOBATCH_ENV
 from repro.sim.api import SCHEDULERS, simulate
@@ -68,6 +69,7 @@ def run_bench(
     seed: int = 1013,
     cores: Optional[int] = None,
     schedulers: Iterable[str] = DEFAULT_SCHEDULERS,
+    trace_counters: bool = False,
 ) -> Dict[str, object]:
     """Benchmark the kernel; returns the JSON-ready report dict.
 
@@ -75,6 +77,14 @@ def run_bench(
     reference events/second for the ``base`` scheduler, which exercises
     the tightest loop.  Parity between the paths is asserted before
     timing.
+
+    With ``trace_counters`` the report additionally embeds
+    ``kernel_counters``: the engine's own attribution for one cold
+    (first-sighting) fast run -- fast-forward runs taken, memo hit
+    rate, event/instruction totals -- plus the batch layer's
+    record/replay tallies from the timed repeats, so a regression
+    report arrives with its own diagnosis (did ff stop taking runs?
+    did replay fall back?).  The extra run happens after all timing.
     """
     if scale not in SCALES:
         raise ValueError(
@@ -96,48 +106,77 @@ def run_bench(
     saved_nobatch = os.environ.get(NOBATCH_ENV)
     from repro.sim import batch as batch_replay
     batch_replay.reset_registry()
+    bench_span = obs.span(
+        "perf.bench", scale=scale, workload=workload,
+        cores=config.num_cores)
     try:
-        # Warm both paths and check parity while doing so.
-        _set_nobatch(False)
-        _set_reference(False)
-        fast_result = simulate(config, traces, "base", workload)
-        _set_reference(True)
-        ref_result = simulate(config, traces, "base", workload)
-        parity = fast_result.to_dict() == ref_result.to_dict()
-        if not parity:
-            raise AssertionError(
-                "fast and reference paths disagree; fix parity before "
-                "benchmarking (run the tests in tests/test_parity.py)")
-        # Timed repeats.  The batch layer sees the fast runs as
-        # identical re-executions: the first timed repeat records, the
-        # rest replay -- keeping the min therefore reports the steady
-        # (replayed) throughput, which is what sweep reruns get.  The
-        # nobatch series times the same kernel with the layer disabled
-        # (the pre-batch fast path).
-        fast_wall = []
-        nobatch_wall = []
-        ref_wall = []
-        for _ in range(max(1, repeats)):
+        with bench_span:
+            # Warm both paths and check parity while doing so.
+            with obs.span("perf.warmup"):
+                _set_nobatch(False)
+                _set_reference(False)
+                fast_result = simulate(
+                    config, traces, "base", workload)
+                _set_reference(True)
+                ref_result = simulate(
+                    config, traces, "base", workload)
+            parity = fast_result.to_dict() == ref_result.to_dict()
+            if not parity:
+                raise AssertionError(
+                    "fast and reference paths disagree; fix parity "
+                    "before benchmarking (run the tests in "
+                    "tests/test_parity.py)")
+            # Timed repeats.  The batch layer sees the fast runs as
+            # identical re-executions: the first timed repeat records,
+            # the rest replay -- keeping the min therefore reports the
+            # steady (replayed) throughput, which is what sweep reruns
+            # get.  The nobatch series times the same kernel with the
+            # layer disabled (the pre-batch fast path).
+            fast_wall = []
+            nobatch_wall = []
+            ref_wall = []
+            with obs.span("perf.timed", repeats=max(1, repeats)):
+                for _ in range(max(1, repeats)):
+                    _set_reference(False)
+                    fast_wall.append(
+                        _time_run(config, traces, "base", workload))
+                    _set_nobatch(True)
+                    nobatch_wall.append(
+                        _time_run(config, traces, "base", workload))
+                    _set_nobatch(False)
+                    _set_reference(True)
+                    ref_wall.append(
+                        _time_run(config, traces, "base", workload))
+            # A replayed run must still be byte-identical to the
+            # reference (the timed repeats discarded their results).
             _set_reference(False)
-            fast_wall.append(_time_run(config, traces, "base", workload))
-            _set_nobatch(True)
-            nobatch_wall.append(
-                _time_run(config, traces, "base", workload))
-            _set_nobatch(False)
-            _set_reference(True)
-            ref_wall.append(_time_run(config, traces, "base", workload))
-        # A replayed run must still be byte-identical to the reference
-        # (the timed repeats discarded their results).
-        _set_reference(False)
-        replay_result = simulate(config, traces, "base", workload)
-        if replay_result.to_dict() != ref_result.to_dict():
-            raise AssertionError(
-                "a batch-replayed run diverged from the reference; "
-                "fix repro.sim.batch before benchmarking")
-        per_scheduler = {
-            name: round(_time_run(config, traces, name, workload), 4)
-            for name in schedulers
-        }
+            replay_result = simulate(config, traces, "base", workload)
+            if replay_result.to_dict() != ref_result.to_dict():
+                raise AssertionError(
+                    "a batch-replayed run diverged from the reference; "
+                    "fix repro.sim.batch before benchmarking")
+            with obs.span("perf.schedulers"):
+                per_scheduler = {
+                    name: round(
+                        _time_run(config, traces, name, workload), 4)
+                    for name in schedulers
+                }
+            # Snapshot the timed phase's batch tallies before the
+            # optional traced run below resets the registry.
+            registry = batch_replay.registry()
+            batch_counts = {
+                "recordings": registry.recordings,
+                "replays": registry.replays,
+                "fallbacks": registry.fallbacks,
+                "aborts": registry.aborts,
+            }
+            kernel_counters = None
+            if trace_counters:
+                kernel_counters = _traced_kernel_counters(
+                    config, traces, workload)
+                kernel_counters.update(
+                    {f"batch_{k}": v for k, v in batch_counts.items()}
+                )
     finally:
         if saved is None:
             os.environ.pop(ENV_VAR, None)
@@ -147,11 +186,10 @@ def run_bench(
             os.environ.pop(NOBATCH_ENV, None)
         else:
             os.environ[NOBATCH_ENV] = saved_nobatch
-    registry = batch_replay.registry()
     fast_s = min(fast_wall)
     nobatch_s = min(nobatch_wall)
     ref_s = min(ref_wall)
-    return {
+    report: Dict[str, object] = {
         "bench": "sim_kernel",
         "scale": scale,
         "workload": workload,
@@ -175,15 +213,44 @@ def run_bench(
         },
         "speedup": round(ref_s / fast_s, 3),
         "batch_speedup": round(nobatch_s / fast_s, 3),
-        "batch": {
-            "recordings": registry.recordings,
-            "replays": registry.replays,
-            "fallbacks": registry.fallbacks,
-            "aborts": registry.aborts,
-        },
+        "batch": batch_counts,
         "schedulers_wall_s": per_scheduler,
         "python": platform.python_version(),
         "timestamp": time.time(),
+    }
+    if kernel_counters is not None:
+        report["kernel_counters"] = kernel_counters
+    return report
+
+
+def _traced_kernel_counters(config, traces, workload: str
+                            ) -> Dict[str, object]:
+    """Kernel self-attribution for one cold fast run.
+
+    Resets the batch registry so the run is a first sighting -- the
+    interpreting kernel with hit-run fast-forwarding, not a memoized
+    replay -- and harvests the engine's ``sim.run`` span counters
+    through a private in-memory tracer (no sink, no effect on any
+    ambient ``REPRO_TRACE``).
+    """
+    from repro.sim import batch as batch_replay
+    batch_replay.reset_registry()
+    tracer = obs.Tracer()
+    with obs.use(tracer):
+        simulate(config, traces, "base", workload)
+    span = next(
+        s for s in reversed(tracer.ring) if s.name == "sim.run")
+    counters = span.counters
+    ff_runs = int(counters.get("ff_runs", 0))
+    ff_memo_hits = int(counters.get("ff_memo_hits", 0))
+    return {
+        "events": int(counters.get("events", 0)),
+        "instructions": int(counters.get("instructions", 0)),
+        "ff_runs": ff_runs,
+        "ff_memo_hits": ff_memo_hits,
+        "ff_memo_hit_rate": (
+            round(ff_memo_hits / ff_runs, 4) if ff_runs else 0.0
+        ),
     }
 
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 import heapq
 from typing import Callable, List, Optional
 
+from repro import obs
 from repro.cache.hierarchy import MemoryHierarchy
 from repro.config import SystemConfig
 from repro.fastpath import nobatch_mode, reference_mode
@@ -1238,7 +1239,70 @@ class SimulationEngine:
     # Main loop
     # ------------------------------------------------------------------
     def run(self, workload_name: str = "") -> RunResult:
-        """Run all threads to completion and collect results."""
+        """Run all threads to completion and collect results.
+
+        Observability follows the counter-only hot-path rule (DESIGN
+        decision 17): one ``sim.run`` span wraps the whole simulation
+        and the engine's existing counters are read once at the end --
+        the event loops never call into the tracer.  When tracing is
+        disarmed the only cost is building the span's tag dict.
+        """
+        span = obs.span(
+            "sim.run",
+            workload=workload_name or None,
+            scheduler=self.scheduler.name,
+            cores=self.config.num_cores,
+            kernel=(
+                "age"
+                if self._age_kernel
+                else ("fast" if self._fast_kernel else "reference")
+            ),
+        )
+        with span as sp:
+            if sp.armed:
+                reg = batch_replay.registry()
+                pre = (
+                    reg.recordings,
+                    reg.replays,
+                    reg.fallbacks,
+                    reg.aborts,
+                )
+            result = self._run(workload_name)
+            if sp.armed:
+                sp.add(
+                    "events", sum(t.pos for t in self.threads)
+                )
+                sp.add("instructions", self.total_instructions)
+                sp.add("ff_runs", self.ff_runs)
+                sp.add("ff_memo_hits", self.ff_memo_hits)
+                post = (
+                    reg.recordings,
+                    reg.replays,
+                    reg.fallbacks,
+                    reg.aborts,
+                )
+                for name, delta in zip(
+                    (
+                        "batch_recordings",
+                        "batch_replays",
+                        "batch_fallbacks",
+                        "batch_aborts",
+                    ),
+                    (p - q for p, q in zip(post, pre)),
+                ):
+                    if delta:
+                        sp.add(name, delta)
+                tracer = obs.tracer()
+                if tracer is not None:
+                    metrics = tracer.metrics
+                    metrics.inc("sim.runs")
+                    metrics.inc("sim.events", sp.counters["events"])
+                    metrics.inc(
+                        "sim.instructions", self.total_instructions
+                    )
+            return result
+
+    def _run(self, workload_name: str) -> RunResult:
         scheduler = self.scheduler
         scheduler.start()
         heap = [

@@ -19,6 +19,7 @@ import pytest
 
 from repro.config import tiny_scale
 from repro.fastpath import ENV_VAR, reference_mode
+from repro.obs import TRACE_ENV
 from repro.sim.api import SCHEDULERS, simulate
 from repro.workloads import WORKLOADS
 
@@ -100,3 +101,36 @@ class TestOtherShapes:
         traces = _traces("tpcc", config)
         _assert_parity(monkeypatch, config, traces, "strex", "tpcc",
                        team_size=2)
+
+
+class TestTracedParity:
+    """Arming ``REPRO_TRACE`` must never perturb the simulation.
+
+    The observability layer is counter-only on the hot path (DESIGN
+    decision 17); these tests pin the stronger user-visible claim: a
+    traced run is byte-identical to an untraced one, under both
+    kernels.
+    """
+
+    @pytest.mark.parametrize("scheduler", ("base", "strex"))
+    def test_traced_runs_are_byte_identical(self, monkeypatch,
+                                            tmp_path, scheduler):
+        config = tiny_scale()
+        traces = _traces("tpcc", config)
+        monkeypatch.delenv(TRACE_ENV, raising=False)
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        fast = simulate(config, traces, scheduler, "tpcc")
+        monkeypatch.setenv(ENV_VAR, "1")
+        ref = simulate(config, traces, scheduler, "tpcc")
+
+        monkeypatch.setenv(TRACE_ENV, str(tmp_path / "trace.jsonl"))
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        fast_traced = simulate(config, traces, scheduler, "tpcc")
+        monkeypatch.setenv(ENV_VAR, "1")
+        ref_traced = simulate(config, traces, scheduler, "tpcc")
+
+        assert fast_traced.to_dict() == fast.to_dict()
+        assert ref_traced.to_dict() == ref.to_dict()
+        assert fast.to_dict() == ref.to_dict()
+        # The traced runs really were traced, not silently disarmed.
+        assert (tmp_path / "trace.jsonl").exists()

@@ -254,6 +254,38 @@ class TestMergeConflicts:
         assert ResultCache(dest).read_bytes(key) == \
             ResultCache(dir_a).read_bytes(key)
 
+    def test_torn_dest_entry_is_healed_from_shard(self, tmp_path):
+        """A truncated *destination* entry (a merge killed mid-write)
+        is a local miss: the shard's valid copy replaces it instead
+        of raising a conflict."""
+        key, dir_a, _ = self.seeded_shard_dirs(tmp_path)
+        dest = tmp_path / "merged"
+        blob = ResultCache(dir_a).read_bytes(key)
+        dest_path = ResultCache(dest).path_for(key)
+        dest_path.parent.mkdir(parents=True)
+        dest_path.write_bytes(blob[:30])
+        report = merge_caches(dest, [dir_a])
+        assert (report.added, report.corrupt) == (1, 0)
+        assert ResultCache(dest).read_bytes(key) == blob
+
+    def test_wrong_schema_source_entry_counts_corrupt(self,
+                                                      tmp_path):
+        """Valid JSON that is not a current-schema entry (a schema
+        bump left behind by an old shard) is corrupt, not mergeable —
+        and never a conflict against the current-schema copy."""
+        key, dir_a, _ = self.seeded_shard_dirs(tmp_path)
+        entry = json.loads(ResultCache(dir_a).read_bytes(key))
+        entry["schema"] = -1
+        stale = tmp_path / "stale"
+        path = ResultCache(stale).path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps(entry, sort_keys=True))
+        dest = tmp_path / "merged"
+        report = merge_caches(dest, [stale, dir_a])
+        assert (report.added, report.corrupt) == (1, 1)
+        assert ResultCache(dest).read_bytes(key) == \
+            ResultCache(dir_a).read_bytes(key)
+
     def test_spec_spelling_difference_is_not_a_conflict(self,
                                                         tmp_path):
         """Two specs can address one key (a default value spelled

@@ -349,6 +349,50 @@ class TestCorpus:
         assert any(c.config["l2_slice"]["hit_latency"] == 0
                    for c in cases)
 
+    def test_corpus_replays_green_with_tracing_armed(self, tmp_path,
+                                                     monkeypatch):
+        """One full corpus pass with ``REPRO_TRACE`` armed: the
+        hostile geometries must stay byte-equal across kernels while
+        every simulation is being traced (tracing must never perturb
+        the simulation, even in the corners)."""
+        from repro.obs import TRACE_ENV
+
+        monkeypatch.setenv(TRACE_ENV, str(tmp_path / "fuzz.jsonl"))
+        pairs = load_corpus(CORPUS_DIR)
+        report = replay_cases([case for _, case in pairs])
+        failing = [o.describe() for o in report.outcomes if not o.ok]
+        assert not failing, failing
+        assert (tmp_path / "fuzz.jsonl").exists()
+
+    def test_traced_corpus_results_identical_to_untraced(
+            self, tmp_path, monkeypatch):
+        """Byte-identical ``RunResult``s with and without the sink,
+        spot-checked on two hostile corpus cases under both kernels."""
+        from repro.exp.diff import result_blob
+        from repro.fastpath import ENV_VAR
+        from repro.obs import TRACE_ENV
+
+        pairs = load_corpus(CORPUS_DIR)[:2]
+        for _, case in pairs:
+            config = case.build_config()
+            traces = case.build_traces()
+            for reference in (False, True):
+                if reference:
+                    monkeypatch.setenv(ENV_VAR, "1")
+                else:
+                    monkeypatch.delenv(ENV_VAR, raising=False)
+                monkeypatch.delenv(TRACE_ENV, raising=False)
+                plain = simulate(config, traces, case.scheduler,
+                                 case.workload,
+                                 team_size=case.team_size)
+                monkeypatch.setenv(
+                    TRACE_ENV, str(tmp_path / "spot.jsonl"))
+                traced = simulate(config, traces, case.scheduler,
+                                  case.workload,
+                                  team_size=case.team_size)
+                assert result_blob(traced) == result_blob(plain), \
+                    case.name
+
 
 class TestCampaigns:
     def test_fuzz_run_reports_clean(self):
