@@ -42,6 +42,15 @@ rollups; ``tree`` for the nested span tree per process; ``export
 --json`` for the machine-readable rollup.  ``perf --trace`` embeds
 the kernel counters of a traced run in the bench report.
 
+The ``serve``/``submit``/``status`` subcommands are the persistent
+sweep service (``repro.svc``): ``serve`` starts a supervisor plus N
+long-lived warm workers over a cache directory, ``submit`` enqueues a
+grid onto the service's bounded priority queue (``--wait`` blocks
+until the job finishes), and ``status`` reports queue depth,
+per-worker warm-cache stats, and job outcomes (``--json`` for CI).
+Served results are byte-identical to ``repro sweep`` on the same
+cache.
+
 Examples::
 
     python -m repro --workload tpcc --scheduler strex --cores 4
@@ -85,6 +94,11 @@ Examples::
         --workloads tpcc tpce --schedulers base strex slicc hybrid
     python -m repro baseline check baselines/ci-tiny.json
     python -m repro baseline update baselines/ci-tiny.json
+    python -m repro serve --workers 4
+    python -m repro submit --workloads tpcc tpce --schedulers base \\
+        --cores 1 2 --scales tiny --repeat 3 --wait
+    python -m repro submit --workloads tpcc --priority 1 --wait
+    python -m repro status --json
 """
 
 from __future__ import annotations
@@ -953,6 +967,206 @@ def run_trace(argv: List[str]) -> Tuple[str, int]:
     return format_summary(summary), 0
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    """Parser for the ``serve`` subcommand (the sweep service)."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Start the persistent sweep service: a supervisor "
+                    "plus N long-lived worker processes that keep "
+                    "trace memos, run tables, and the batch "
+                    "record/replay registry warm across jobs.  Jobs "
+                    "arrive via 'repro submit' on a bounded, "
+                    "priority-aware, file-backed queue; results land "
+                    "in the same ResultCache/Manifest as 'repro "
+                    "sweep' (byte-identical entries).  SIGTERM drains "
+                    "gracefully: workers finish their in-flight cell "
+                    "and pending work survives on disk for the next "
+                    "serve.",
+    )
+    parser.add_argument("--workers", type=int, default=2,
+                        help="long-lived worker processes (default 2)")
+    parser.add_argument("--cache-dir", type=Path,
+                        default=DEFAULT_CACHE_DIR)
+    parser.add_argument("--svc-dir", type=Path, default=None,
+                        help="service state directory (default: "
+                             "<cache-dir>/svc)")
+    parser.add_argument("--queue-capacity", type=int, default=None,
+                        help="bound on pending jobs before submit "
+                             "pushes back (default 256)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-run wall-clock budget in seconds "
+                             "(best-effort: service cells run inline "
+                             "on worker threads, where SIGALRM cannot "
+                             "be armed)")
+    parser.add_argument("--retries", type=int, default=2,
+                        help="extra attempts after transient failures")
+    parser.add_argument("--heartbeat-timeout", type=float, default=None,
+                        help="seconds without a worker heartbeat "
+                             "before it is declared dead and its "
+                             "claimed cells are re-queued")
+    parser.add_argument("--poll-interval", type=float, default=0.05,
+                        help="supervisor loop idle wait in seconds")
+    return parser
+
+
+def run_serve(argv: List[str]) -> str:
+    """Execute the ``serve`` subcommand (blocks until SIGTERM)."""
+    from repro.svc import Supervisor
+    from repro.svc.supervisor import HEARTBEAT_TIMEOUT
+
+    args = build_serve_parser().parse_args(argv)
+    supervisor = Supervisor(
+        args.cache_dir,
+        svc_root=args.svc_dir,
+        workers=args.workers,
+        timeout=args.timeout,
+        retries=args.retries,
+        queue_capacity=args.queue_capacity,
+        heartbeat_timeout=(args.heartbeat_timeout
+                           if args.heartbeat_timeout is not None
+                           else HEARTBEAT_TIMEOUT),
+        poll_interval=args.poll_interval,
+    )
+    print(f"serving {supervisor.svc_root} with {supervisor.workers} "
+          f"worker(s) (pid {os.getpid()}); SIGTERM drains",
+          flush=True)
+    try:
+        supervisor.serve()
+    except RuntimeError as exc:
+        raise ValueError(str(exc)) from exc
+    return f"service at {supervisor.svc_root} stopped"
+
+
+def _svc_root(args) -> Path:
+    """The service directory a submit/status invocation targets."""
+    from repro.svc import svc_root_for
+
+    if args.svc_dir is not None:
+        return args.svc_dir
+    return svc_root_for(args.cache_dir)
+
+
+def build_submit_parser() -> argparse.ArgumentParser:
+    """Parser for the ``submit`` subcommand (enqueue onto the service)."""
+    parser = argparse.ArgumentParser(
+        prog="repro submit",
+        description="Enqueue a sweep grid as one job on the sweep "
+                    "service's bounded priority queue.  The job is "
+                    "durable: it survives a service restart and can "
+                    "be submitted before the service starts.  "
+                    "--repeat N re-executes each cell N times in "
+                    "total (later passes bypass the cache read) to "
+                    "prime the batch record/replay registry; --wait "
+                    "blocks until the job finishes and prints its "
+                    "outcome.",
+    )
+    _add_grid_arguments(parser)
+    parser.add_argument("--cache-dir", type=Path,
+                        default=DEFAULT_CACHE_DIR)
+    parser.add_argument("--svc-dir", type=Path, default=None,
+                        help="service state directory (default: "
+                             "<cache-dir>/svc)")
+    parser.add_argument("--priority", type=int, default=None,
+                        help="0 (most urgent) .. 9; default 5")
+    parser.add_argument("--repeat", type=int, default=1, metavar="N",
+                        help="execute each cell N times in total "
+                             "(extra passes skip the cache read; "
+                             "results stay byte-identical)")
+    parser.add_argument("--force", action="store_true",
+                        help="re-execute cells even when cached")
+    parser.add_argument("--block", action="store_true",
+                        help="at queue capacity, wait for space "
+                             "instead of failing")
+    parser.add_argument("--wait", action="store_true",
+                        help="block until the job finishes; exit "
+                             "nonzero if it failed")
+    parser.add_argument("--wait-timeout", type=float, default=None,
+                        metavar="S",
+                        help="give up waiting after S seconds")
+    return parser
+
+
+def run_submit(argv: List[str]) -> Tuple[str, int]:
+    """Execute the ``submit`` subcommand; returns (report, code)."""
+    from repro.svc import (
+        DEFAULT_PRIORITY,
+        JobFailed,
+        QueueFull,
+        submit_job,
+        wait_job,
+    )
+
+    args = build_submit_parser().parse_args(argv)
+    root = _svc_root(args)
+    specs = _grid_sweep(args).expand()
+    try:
+        job_id = submit_job(
+            root, specs,
+            priority=(args.priority if args.priority is not None
+                      else DEFAULT_PRIORITY),
+            repeat=args.repeat,
+            force=args.force,
+            block=args.block,
+            timeout=args.wait_timeout,
+        )
+    except QueueFull as exc:
+        return f"queue full: {exc} (retry with --block)", 1
+    header = (f"submitted job {job_id}: {len(specs)} cell(s) "
+              f"-> {root}")
+    if not args.wait:
+        return (header + f"\nwait with: python -m repro status "
+                f"--svc-dir {root}", 0)
+    try:
+        record = wait_job(root, job_id, timeout=args.wait_timeout)
+    except JobFailed as exc:
+        return header + f"\n{exc}", 1
+    return (
+        header + "\n"
+        f"job {job_id} {record['state']}: "
+        f"{record.get('done', 0)} done, "
+        f"{record.get('cache_hits', 0)} cache hit(s), "
+        f"{record.get('executed', 0)} executed, "
+        f"{record.get('warm_hits', 0)} warm "
+        f"({100.0 * (record.get('warm_rate') or 0.0):.1f}%), "
+        f"{record.get('batch_replays', 0)} batch replay(s), "
+        f"wall {record.get('wall_s', 0.0):.3f}s "
+        f"(queued {record.get('queue_wait_s', 0.0):.3f}s)",
+        0,
+    )
+
+
+def build_status_parser() -> argparse.ArgumentParser:
+    """Parser for the ``status`` subcommand (service snapshot)."""
+    parser = argparse.ArgumentParser(
+        prog="repro status",
+        description="Report the sweep service's state: supervisor "
+                    "liveness, queue depth vs capacity, per-worker "
+                    "warm-cache stats (cache hits, batch replays, "
+                    "trace-memo hit rate, restarts), and job "
+                    "outcomes.  Read-only and file-based: works "
+                    "whether or not the service is running.",
+    )
+    parser.add_argument("--cache-dir", type=Path,
+                        default=DEFAULT_CACHE_DIR)
+    parser.add_argument("--svc-dir", type=Path, default=None,
+                        help="service state directory (default: "
+                             "<cache-dir>/svc)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the machine-readable snapshot")
+    return parser
+
+
+def run_status(argv: List[str]) -> str:
+    """Execute the ``status`` subcommand; returns the report."""
+    from repro.svc import format_status, service_status
+
+    args = build_status_parser().parse_args(argv)
+    status = service_status(_svc_root(args))
+    if args.json:
+        return json.dumps(status, indent=2, sort_keys=True)
+    return format_status(status)
+
+
 def main(argv=None) -> int:
     """CLI entry point."""
     argv = list(sys.argv[1:] if argv is None else argv)
@@ -986,6 +1200,16 @@ def main(argv=None) -> int:
             text, code = run_trace(argv[1:])
             print(text)
             return code
+        if argv and argv[0] == "serve":
+            print(run_serve(argv[1:]))
+            return 0
+        if argv and argv[0] == "submit":
+            text, code = run_submit(argv[1:])
+            print(text)
+            return code
+        if argv and argv[0] == "status":
+            print(run_status(argv[1:]))
+            return 0
         args = build_parser().parse_args(argv)
         report = run_sweep(args) if args.sweep else run_single(args)
     except ValueError as exc:

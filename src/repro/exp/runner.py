@@ -24,8 +24,10 @@ from __future__ import annotations
 
 import os
 import signal
+import threading
 import time
 import uuid
+import warnings
 from collections import OrderedDict
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -70,6 +72,16 @@ class RunError(RuntimeError):
 _TRACE_MEMO: "OrderedDict[tuple, tuple]" = OrderedDict()
 _TRACE_MEMO_MAX = 32
 
+#: Per-process memo tallies.  The sweep service reads these through
+#: :func:`trace_memo_stats` to report how warm each long-lived worker
+#: actually is (a cold worker regenerates traces; a warm one reuses).
+_TRACE_MEMO_STATS = {"hits": 0, "misses": 0}
+
+
+def trace_memo_stats() -> Dict[str, int]:
+    """Snapshot of this process's trace-memo hit/miss counters."""
+    return dict(_TRACE_MEMO_STATS)
+
 
 def _workload_traces(spec: RunSpec, l1i_blocks: int) -> Tuple[str, list]:
     """``(workload_name, traces)`` for a spec, memoized per process.
@@ -87,7 +99,9 @@ def _workload_traces(spec: RunSpec, l1i_blocks: int) -> Tuple[str, list]:
     memo = _TRACE_MEMO.get(key)
     if memo is not None:
         _TRACE_MEMO.move_to_end(key)
+        _TRACE_MEMO_STATS["hits"] += 1
         return memo
+    _TRACE_MEMO_STATS["misses"] += 1
     workload = make_workload(spec.workload, l1i_blocks, spec.seed)
     if spec.mode == "mix":
         traces = workload.generate_mix(spec.transactions, seed=mix_seed)
@@ -143,6 +157,13 @@ def execute_spec(spec: RunSpec):
     )
 
 
+#: One warning per process when a timeout is requested but cannot be
+#: armed (no SIGALRM, or we are not on the main thread — ``signal.
+#: signal`` raises ``ValueError`` anywhere else).  The run proceeds
+#: without a budget rather than dying on the arming attempt.
+_TIMEOUT_UNARMED_WARNED = False
+
+
 def _worker_run(spec: RunSpec, timeout: Optional[float]):
     """Worker entry point: run one spec under an optional alarm.
 
@@ -150,9 +171,31 @@ def _worker_run(spec: RunSpec, timeout: Optional[float]):
     The result crosses the process boundary as a plain dict plus its
     registered type name, which doubles as the cache's serialized
     form.
+
+    The alarm is armed only when the platform has ``SIGALRM`` *and*
+    this is the process's main thread: signal handlers can only be
+    installed there, and the sweep service runs cells inline on a
+    worker's executor thread.  When a timeout is requested but cannot
+    be armed, the run falls back to no-timeout with a one-time
+    warning instead of crashing on ``signal.signal``.
     """
+    global _TIMEOUT_UNARMED_WARNED
     start = time.perf_counter()
-    use_alarm = timeout is not None and hasattr(signal, "SIGALRM")
+    use_alarm = (
+        timeout is not None
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if timeout is not None and not use_alarm and \
+            not _TIMEOUT_UNARMED_WARNED:
+        _TIMEOUT_UNARMED_WARNED = True
+        warnings.warn(
+            "per-run timeout requested but SIGALRM cannot be armed "
+            "(not on the main thread or platform lacks SIGALRM); "
+            "running without a wall-clock budget",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     if use_alarm:
         def _on_alarm(signum, frame):
             raise SimTimeoutError(

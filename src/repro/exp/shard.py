@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import json
 import multiprocessing
+import multiprocessing.connection
 import time
 import uuid
 from collections import deque
@@ -345,11 +346,16 @@ def run_all_shards(specs: Union[SweepSpec, Sequence[RunSpec]],
     each into its private directory under ``<cache_dir>/shards/``.
     While they run, their manifest rows are relayed into the shared
     ``<cache_dir>/manifest.jsonl`` (the ``shard`` column says who did
-    what).  A shard whose process exits with cells still missing from
-    its private cache — a crash, a kill, an unhandled error — is
-    relaunched with *only the missing specs*, up to ``relaunches``
-    extra times; completed cells are never recomputed because they
-    survive in the private cache.  When every shard is complete the
+    what).  The orchestrator waits on the subprocess *sentinels* (with
+    ``poll_interval`` as an upper bound so relaying keeps streaming),
+    so an exit is noticed immediately rather than on the next poll
+    tick.  A shard whose process exits with owned cells still missing
+    from its private cache — a crash, a kill, an unhandled error, or
+    even a *clean exit 0* that silently skipped work — is relaunched
+    with *only the missing specs*, up to ``relaunches`` extra times;
+    completed cells are never recomputed because they survive in the
+    private cache.  Exit status is never trusted as a success signal:
+    owned-key completeness is verified on every exit.  When every shard is complete the
     private caches are merged into ``cache_dir`` (conflicts are hard
     errors) and results are read back from the merged cache.
 
@@ -456,7 +462,13 @@ def _run_all_shards(specs, cache_dir, count, procs, jobs, timeout,
                 running[shard_index] = process
             if not running:
                 continue
-            time.sleep(poll_interval)
+            # Block on the running processes' sentinels instead of a
+            # fixed sleep: the loop wakes the instant any shard exits,
+            # while the bounded timeout keeps manifest rows streaming
+            # into the shared manifest for long-running shards.
+            multiprocessing.connection.wait(
+                [process.sentinel for process in running.values()],
+                timeout=poll_interval)
             for shard_index, process in list(running.items()):
                 relay(shard_index)
                 if process.is_alive():
@@ -464,16 +476,26 @@ def _run_all_shards(specs, cache_dir, count, procs, jobs, timeout,
                 process.join()
                 del running[shard_index]
                 relay(shard_index)
+                # Exit status alone proves nothing: a shard that exits
+                # 0 with owned keys absent from its private cache (an
+                # early sys.exit, a swallowed error) is as incomplete
+                # as a crash.  Completeness of the owned key set is the
+                # only success criterion; anything else relaunches on
+                # the missing set or fails citing how the shard exited.
                 still_missing = missing_specs(shard_index)
                 if not still_missing:
                     continue
                 if launches[shard_index] > relaunches:
+                    exited = (
+                        "cleanly (exit code 0)"
+                        if process.exitcode == 0
+                        else f"with code {process.exitcode}"
+                    )
                     raise ShardFailure(
-                        f"shard {shards[shard_index]} exited with code "
-                        f"{process.exitcode} and "
-                        f"{len(still_missing)} cell(s) still missing "
-                        f"after {launches[shard_index]} launch(es); "
-                        f"inspect {roots[shard_index]}"
+                        f"shard {shards[shard_index]} exited {exited} "
+                        f"but left {len(still_missing)} owned cell(s) "
+                        f"missing after {launches[shard_index]} "
+                        f"launch(es); inspect {roots[shard_index]}"
                     )
                 queue.append(shard_index)
     finally:

@@ -1,6 +1,11 @@
 """The multicore trace-replay simulation engine and results."""
 
-from repro.sim.api import PREFETCHERS, SCHEDULERS, simulate
+from repro.sim.api import (
+    PREFETCHERS,
+    SCHEDULERS,
+    simulate,
+    validate_run_request,
+)
 from repro.sim.engine import SimulationEngine
 from repro.sim.results import RunResult
 from repro.sim.thread import TxnThread
@@ -9,6 +14,7 @@ __all__ = [
     "PREFETCHERS",
     "SCHEDULERS",
     "simulate",
+    "validate_run_request",
     "SimulationEngine",
     "RunResult",
     "TxnThread",

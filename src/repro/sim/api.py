@@ -38,6 +38,38 @@ PREFETCHERS: Dict[str, Callable] = {
 }
 
 
+def validate_run_request(
+    scheduler: str,
+    prefetcher: str = "none",
+    team_size: Optional[int] = None,
+) -> None:
+    """Raise ``ValueError`` for combos :func:`simulate` would reject.
+
+    Cheap (no engine, no traces), so callers that queue work for later
+    execution — the sweep service's ``submit`` — can fail fast instead
+    of shipping a cell that can only die inside a worker.
+    """
+    if scheduler not in SCHEDULERS:
+        raise ValueError(
+            f"unknown scheduler {scheduler!r}; "
+            f"choose from {sorted(SCHEDULERS)}"
+        )
+    if prefetcher not in PREFETCHERS:
+        raise ValueError(
+            f"unknown prefetcher {prefetcher!r}; "
+            f"choose from {sorted(PREFETCHERS)}"
+        )
+    if team_size is not None:
+        if scheduler not in ("strex", "hybrid"):
+            raise ValueError(
+                f"team_size only applies to the 'strex' and 'hybrid' "
+                f"schedulers, not {scheduler!r}"
+            )
+        if team_size < 1:
+            raise ValueError(
+                f"team_size must be positive, got {team_size}")
+
+
 def simulate(
     config: SystemConfig,
     traces: List[TransactionTrace],
@@ -63,26 +95,9 @@ def simulate(
     Returns:
         The run's :class:`RunResult`.
     """
-    try:
-        scheduler_cls = SCHEDULERS[scheduler]
-    except KeyError:
-        raise ValueError(
-            f"unknown scheduler {scheduler!r}; "
-            f"choose from {sorted(SCHEDULERS)}"
-        ) from None
-    try:
-        prefetcher_cls = PREFETCHERS[prefetcher]
-    except KeyError:
-        raise ValueError(
-            f"unknown prefetcher {prefetcher!r}; "
-            f"choose from {sorted(PREFETCHERS)}"
-        ) from None
-
-    if team_size is not None and scheduler not in ("strex", "hybrid"):
-        raise ValueError(
-            f"team_size only applies to the 'strex' and 'hybrid' "
-            f"schedulers, not {scheduler!r}"
-        )
+    validate_run_request(scheduler, prefetcher, team_size)
+    scheduler_cls = SCHEDULERS[scheduler]
+    prefetcher_cls = PREFETCHERS[prefetcher]
 
     if scheduler == "strex" and team_size is not None:
         def scheduler_factory(engine):

@@ -1,0 +1,171 @@
+"""Bounded, priority-aware, file-backed job queue.
+
+The queue is a directory of JSON files: one pending job per file under
+``<svc_root>/queue/pending/``, named so that a plain lexicographic
+sort *is* the dequeue order::
+
+    p{priority}-{time_ns:020d}-{job_id}.json
+
+Priority is a single digit (0 = most urgent .. 9, default
+:data:`DEFAULT_PRIORITY`), so the ``p{priority}-`` prefix sorts
+urgent-first and the zero-padded nanosecond timestamp breaks ties
+FIFO.  Files are written atomically (temp + ``os.replace``), so the
+single consumer (the supervisor) never observes a torn job.
+
+Backpressure is a hard bound on the number of pending files: a
+:meth:`JobQueue.submit` past :attr:`JobQueue.capacity` raises
+:class:`QueueFull` (or blocks up to ``timeout`` when asked to).  The
+bound is advisory-free — producers and the consumer coordinate only
+through the filesystem, which is what lets ``repro submit`` enqueue
+into a service started by a different process (or not started yet:
+pending files are durable and survive a supervisor restart).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+import uuid
+from pathlib import Path
+from typing import Optional, Tuple
+
+#: Default bound on pending jobs before submissions push back.
+DEFAULT_CAPACITY = 256
+
+#: Default job priority (0 = most urgent, 9 = least).
+DEFAULT_PRIORITY = 5
+
+
+class QueueFull(RuntimeError):
+    """The pending queue is at capacity; the submission was refused."""
+
+
+def _atomic_write_json(path: Path, payload: dict) -> None:
+    """Write ``payload`` as JSON via temp + ``os.replace``."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, sort_keys=True)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class JobQueue:
+    """Single-consumer file-backed priority queue under ``root``.
+
+    Any number of producers may :meth:`submit`; exactly one consumer
+    (the supervisor) should :meth:`claim_next`.  Neither side needs
+    the other to be alive.
+    """
+
+    def __init__(self, root: Path, capacity: Optional[int] = None):
+        self.root = Path(root)
+        self.pending = self.root / "pending"
+        self._capacity = capacity
+
+    # ------------------------------------------------------------------
+    # Capacity
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        """The pending-job bound.
+
+        An explicit constructor value wins; otherwise the value the
+        serving supervisor persisted in ``capacity.json`` (so clients
+        see the server's bound); otherwise :data:`DEFAULT_CAPACITY`.
+        """
+        if self._capacity is not None:
+            return self._capacity
+        try:
+            data = json.loads((self.root / "capacity.json").read_text())
+            return int(data["capacity"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return DEFAULT_CAPACITY
+
+    def persist_capacity(self) -> None:
+        """Publish this queue's bound for other-process producers."""
+        _atomic_write_json(self.root / "capacity.json",
+                           {"capacity": self.capacity})
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+    def depth(self) -> int:
+        """Number of pending jobs."""
+        if not self.pending.exists():
+            return 0
+        return sum(1 for _ in self.pending.glob("p*.json"))
+
+    def submit(self, payload: dict,
+               priority: int = DEFAULT_PRIORITY,
+               block: bool = False,
+               timeout: Optional[float] = None,
+               poll: float = 0.05) -> str:
+        """Enqueue one job; returns its id.
+
+        ``payload`` must carry an ``"id"`` (one is generated if
+        absent).  At capacity, a non-blocking submit raises
+        :class:`QueueFull` immediately; ``block=True`` waits up to
+        ``timeout`` seconds (forever when ``None``) for space.
+        """
+        if not 0 <= int(priority) <= 9:
+            raise ValueError(
+                f"priority must be in [0, 9], got {priority!r}")
+        job_id = payload.setdefault("id", uuid.uuid4().hex[:12])
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while self.depth() >= self.capacity:
+            if not block or (deadline is not None
+                             and time.monotonic() >= deadline):
+                raise QueueFull(
+                    f"queue at {self.root} holds {self.depth()} pending "
+                    f"job(s) (capacity {self.capacity})"
+                )
+            time.sleep(poll)
+        name = f"p{int(priority)}-{time.time_ns():020d}-{job_id}.json"
+        _atomic_write_json(self.pending / name, payload)
+        return job_id
+
+    # ------------------------------------------------------------------
+    # Consumer side (supervisor only)
+    # ------------------------------------------------------------------
+    def claim_next(self) -> Optional[Tuple[str, dict]]:
+        """Pop the most urgent pending job, or ``None`` when empty.
+
+        Returns ``(job_id, payload)``.  A torn or unreadable file is
+        skipped (left in place) rather than wedging the queue; the
+        atomic producer writes make that unreachable in practice.
+        """
+        if not self.pending.exists():
+            return None
+        for path in sorted(self.pending.glob("p*.json")):
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            try:
+                path.unlink()
+            except FileNotFoundError:  # pragma: no cover - single consumer
+                continue
+            return payload.get("id", path.stem), payload
+        return None
+
+    def discard(self, job_id: str) -> bool:
+        """Drop every pending file carrying ``job_id`` (recovery)."""
+        dropped = False
+        if not self.pending.exists():
+            return dropped
+        for path in self.pending.glob(f"p*-{job_id}.json"):
+            try:
+                path.unlink()
+                dropped = True
+            except OSError:
+                pass
+        return dropped

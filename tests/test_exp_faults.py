@@ -15,7 +15,9 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 import time
+import warnings
 
 import pytest
 
@@ -233,6 +235,90 @@ class TestPoolFaults:
 
 
 # ---------------------------------------------------------------------
+# Timeouts off the main thread
+# ---------------------------------------------------------------------
+
+class TestThreadedTimeout:
+    """A timed cell run off the main thread must not die arming
+    SIGALRM (``signal.signal`` raises ``ValueError`` anywhere but the
+    main thread): it falls back to no-timeout with one warning per
+    process.  This is the sweep service's execution model — a worker
+    runs cells inline on its executor thread."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_warning_state(self, monkeypatch):
+        monkeypatch.setattr(runner_mod, "_TIMEOUT_UNARMED_WARNED",
+                            False)
+
+    def _run_in_thread(self, target):
+        thread = threading.Thread(target=target)
+        thread.start()
+        thread.join(60.0)
+        assert not thread.is_alive()
+
+    def test_timed_cell_completes_on_a_non_main_thread(self):
+        spec = tiny_spec()
+        expected = execute_spec(spec)
+        box = {}
+
+        def target():
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                box["value"] = runner_mod._worker_run(spec, 5.0)
+                box["messages"] = [str(w.message) for w in caught]
+
+        self._run_in_thread(target)
+        payload, result_type, _pid, _wall = box["value"]
+        assert payload == expected.to_dict()
+        assert result_type == type(expected).__name__
+        assert any("SIGALRM" in message for message in box["messages"])
+
+    def test_fallback_warns_once_per_process(self):
+        spec = tiny_spec()
+        counts = []
+
+        def target():
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                runner_mod._worker_run(spec, 5.0)
+                counts.append(sum("SIGALRM" in str(w.message)
+                                  for w in caught))
+
+        self._run_in_thread(target)
+        self._run_in_thread(target)
+        assert counts == [1, 0]
+
+    def test_runner_with_timeout_completes_on_a_thread(self):
+        """The full in-process Runner path (what a service worker
+        drives) survives a timeout request off the main thread."""
+        spec = tiny_spec()
+        expected = execute_spec(spec)
+        box = {}
+
+        def target():
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                box["results"] = Runner(jobs=1, timeout=30.0,
+                                        retries=0).run([spec])
+
+        self._run_in_thread(target)
+        assert box["results"] == [expected]
+
+    def test_no_timeout_requested_never_warns(self):
+        spec = tiny_spec()
+        box = {}
+
+        def target():
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                runner_mod._worker_run(spec, None)
+                box["messages"] = [str(w.message) for w in caught]
+
+        self._run_in_thread(target)
+        assert not any("SIGALRM" in m for m in box["messages"])
+
+
+# ---------------------------------------------------------------------
 # Shard-orchestrator fault injection
 # ---------------------------------------------------------------------
 
@@ -253,6 +339,26 @@ def _sigkill_own_process_on(marker_path, victim_seed):
         return real(spec)
 
     return killing
+
+
+def _exit_zero_on(marker_path, victim_seed):
+    """An ``execute_spec`` stand-in: the first process to reach the
+    spec with ``victim_seed`` (marker claimed with O_EXCL) exits 0
+    *without doing the work* — the lying clean exit the orchestrator
+    must refuse to trust."""
+    real = execute_spec
+
+    def quitting(spec):
+        if spec.seed == victim_seed:
+            try:
+                fd = os.open(marker_path, os.O_CREAT | os.O_EXCL)
+            except FileExistsError:
+                return real(spec)
+            os.close(fd)
+            os._exit(0)
+        return real(spec)
+
+    return quitting
 
 
 @needs_fork
@@ -327,7 +433,58 @@ class TestShardOrchestratorFaults:
             return execute_spec(spec)
 
         monkeypatch.setattr(runner_mod, "execute_spec", always_dies)
-        with pytest.raises(ShardFailure, match="still missing"):
+        with pytest.raises(ShardFailure,
+                           match=r"owned cell\(s\) missing"):
+            run_all_shards(specs, cache_dir=tmp_path / "sharded",
+                           count=self.SHARDS, relaunches=1)
+
+    def test_clean_exit_with_missing_cells_is_relaunched(
+            self, tmp_path, monkeypatch):
+        """Exit status is never trusted: a shard that exits 0 with
+        owned cells absent from its private cache (an early
+        ``sys.exit``, a swallowed error) is relaunched on the missing
+        set exactly like a crash, and the merged cache still equals a
+        clean run's byte-for-byte."""
+        specs, victim_shard, victim = self._specs_and_victim()
+        keys = [spec_key(spec) for spec in specs]
+
+        clean_root = tmp_path / "clean"
+        clean = Runner(cache=ResultCache(clean_root)).run(specs)
+
+        monkeypatch.setattr(
+            runner_mod, "execute_spec",
+            _exit_zero_on(str(tmp_path / "quit"), victim.seed))
+        sharded_root = tmp_path / "sharded"
+        report = run_all_shards(specs, cache_dir=sharded_root,
+                                count=self.SHARDS)
+        assert os.path.exists(tmp_path / "quit")
+
+        assert report.launches[victim_shard] == 2
+        assert all(n == 1 for i, n in report.launches.items()
+                   if i != victim_shard)
+
+        clean_cache = ResultCache(clean_root)
+        merged_cache = ResultCache(sharded_root)
+        assert sorted(merged_cache.keys()) == sorted(keys)
+        for key in keys:
+            assert merged_cache.read_bytes(key) == \
+                clean_cache.read_bytes(key)
+        assert report.results == clean
+
+    def test_repeated_clean_exits_fail_citing_the_exit_code(
+            self, tmp_path, monkeypatch):
+        """The hard-failure message distinguishes a lying clean exit
+        from a crash, so the operator knows the shard *chose* to stop."""
+        specs, _, victim = self._specs_and_victim()
+
+        def always_quits(spec):
+            if spec.seed == victim.seed:
+                os._exit(0)
+            return execute_spec(spec)
+
+        monkeypatch.setattr(runner_mod, "execute_spec", always_quits)
+        with pytest.raises(ShardFailure,
+                           match=r"cleanly \(exit code 0\)"):
             run_all_shards(specs, cache_dir=tmp_path / "sharded",
                            count=self.SHARDS, relaunches=1)
 
